@@ -1,0 +1,91 @@
+"""Ablation: the §8 post-processing pass under Criterion-3 violations.
+
+DESIGN.md calls out the repair pass as a design choice; this bench measures
+what it buys. We inject duplicate sentences (violating Criterion 3), run
+FastMatch with and without post-processing, and compare the resulting edit
+script costs. Expectation: post-processing never hurts and reduces the cost
+whenever a duplicate got cross-matched; with no duplicates it is a no-op.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diff import tree_diff
+from repro.ladiff.pipeline import default_match_config
+from repro.workload import DocumentGenerator, DocumentSpec, MutationEngine, MutationMix
+
+from conftest import print_table
+
+#: Deletes and moves are what make duplicate sentences dangerous: the LCS
+#: sweep then pairs surviving copies across paragraphs.
+CHURN_MIX = MutationMix(
+    insert_leaf=0.5, delete_leaf=1.5, update_leaf=0.5, move_leaf=2.0,
+    move_subtree=2.0, insert_subtree=0.1, delete_subtree=0.5,
+)
+
+
+def measure(duplicate_rate, seeds=range(12), edits=20):
+    total_with = total_without = repairs = 0.0
+    for seed in seeds:
+        spec = DocumentSpec(
+            sections=5,
+            paragraphs_per_section=5,
+            sentences_per_paragraph=5,
+            duplicate_sentence_rate=duplicate_rate,
+        )
+        base = DocumentGenerator(seed).document(spec)
+        edited = MutationEngine(seed + 50, mix=CHURN_MIX).mutate(base, edits).tree
+        config = default_match_config()
+        with_pp = tree_diff(base, edited, config=config, postprocess=True)
+        without_pp = tree_diff(base, edited, config=config, postprocess=False)
+        assert with_pp.verify(base, edited)
+        assert without_pp.verify(base, edited)
+        total_with += with_pp.cost()
+        total_without += without_pp.cost()
+        repairs += with_pp.postprocess_repairs
+    return {
+        "duplicate_rate": duplicate_rate,
+        "cost_with": total_with,
+        "cost_without": total_without,
+        "repairs": repairs,
+    }
+
+
+def collect():
+    return [measure(rate) for rate in (0.0, 0.1, 0.25)]
+
+
+def report(rows):
+    print_table(
+        "Ablation: §8 post-processing pass (edit-script cost, 12 documents)",
+        ["duplicate rate", "cost w/o postprocess", "cost w/ postprocess",
+         "repairs made"],
+        [
+            (
+                f"{r['duplicate_rate']:.2f}", f"{r['cost_without']:.1f}",
+                f"{r['cost_with']:.1f}", f"{r['repairs']:.0f}",
+            )
+            for r in rows
+        ],
+    )
+
+
+def test_postprocess_ablation(benchmark):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    report(rows)
+    for r in rows:
+        benchmark.extra_info[
+            f"repairs_at_{r['duplicate_rate']}"
+        ] = r["repairs"]
+        # never worse than skipping the pass (allow float jitter)
+        assert r["cost_with"] <= r["cost_without"] + 1e-6
+    # with no duplicates the pass is (nearly) inert
+    assert rows[0]["repairs"] <= 2
+    # with duplicates it fires and shortens the scripts
+    assert rows[-1]["repairs"] > 5
+    assert rows[-1]["cost_with"] < rows[-1]["cost_without"]
+
+
+if __name__ == "__main__":
+    report(collect())

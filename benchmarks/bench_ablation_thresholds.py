@@ -1,0 +1,106 @@
+"""Ablation: the matching thresholds t (Criterion 2) and f (Criterion 1).
+
+LaDiff exposes t as its tunable parameter; f bounds how dissimilar two
+matched sentences may be. This bench sweeps both on a fixed mutated-document
+workload and reports the resulting script cost and matching size:
+
+* raising **t** makes internal matches harder — fewer matched containers,
+  more structural inserts/deletes, higher cost;
+* lowering **f** refuses to pair edited sentences — updates turn into
+  delete/insert pairs, raising cost (the §3.2 cost-model consistency
+  argument made measurable).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diff import tree_diff
+from repro.ladiff.pipeline import default_match_config
+from repro.workload import DocumentSpec, MutationEngine, generate_document
+
+from conftest import print_table
+
+
+def build_pairs():
+    pairs = []
+    for seed in range(6):
+        base = generate_document(
+            700 + seed,
+            DocumentSpec(sections=5, paragraphs_per_section=5,
+                         sentences_per_paragraph=5),
+        )
+        edited = MutationEngine(800 + seed).mutate(base, 15).tree
+        pairs.append((base, edited))
+    return pairs
+
+
+def sweep_t(pairs):
+    rows = []
+    for t in (0.5, 0.6, 0.7, 0.8, 0.9, 1.0):
+        cost = matched = 0.0
+        for base, edited in pairs:
+            config = default_match_config(t=t)
+            result = tree_diff(base, edited, config=config)
+            assert result.verify(base, edited)
+            cost += result.cost()
+            matched += len(result.matching)
+        rows.append({"t": t, "cost": cost, "matched": matched})
+    return rows
+
+
+def sweep_f(pairs):
+    rows = []
+    for f in (0.1, 0.3, 0.6, 0.9):
+        cost = updates = 0.0
+        for base, edited in pairs:
+            config = default_match_config(f=f)
+            result = tree_diff(base, edited, config=config)
+            assert result.verify(base, edited)
+            cost += result.cost()
+            updates += result.script.summary()["update"]
+        rows.append({"f": f, "cost": cost, "updates": updates})
+    return rows
+
+
+def report(t_rows, f_rows):
+    print_table(
+        "Ablation: match threshold t (Criterion 2)",
+        ["t", "total script cost", "matched pairs"],
+        [(f"{r['t']:.1f}", f"{r['cost']:.1f}", f"{r['matched']:.0f}")
+         for r in t_rows],
+    )
+    print_table(
+        "Ablation: leaf threshold f (Criterion 1)",
+        ["f", "total script cost", "updates emitted"],
+        [(f"{r['f']:.1f}", f"{r['cost']:.1f}", f"{r['updates']:.0f}")
+         for r in f_rows],
+    )
+
+
+def test_threshold_ablation(benchmark):
+    pairs = build_pairs()
+
+    def run():
+        return sweep_t(pairs), sweep_f(pairs)
+
+    t_rows, f_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(t_rows, f_rows)
+
+    # tightening t can only shrink the matching (strictly fewer pairs pass)
+    matched = [r["matched"] for r in t_rows]
+    assert matched == sorted(matched, reverse=True)
+    # and cost is monotonically non-decreasing within measurement noise
+    assert t_rows[-1]["cost"] >= t_rows[0]["cost"]
+
+    # a permissive f preserves updates; a near-zero f forbids most of them
+    assert f_rows[-1]["updates"] > f_rows[0]["updates"]
+    # and scripts get cheaper as f admits the cheap update pairs
+    assert f_rows[-1]["cost"] <= f_rows[0]["cost"]
+
+    benchmark.extra_info["cost_t05"] = round(t_rows[0]["cost"], 1)
+    benchmark.extra_info["cost_t10"] = round(t_rows[-1]["cost"], 1)
+
+
+if __name__ == "__main__":
+    report(sweep_t(build_pairs()), sweep_f(build_pairs()))

@@ -1,0 +1,119 @@
+"""Figure 13(a): weighted edit distance e versus unweighted distance d.
+
+Paper: "the relationship between e and d is close to linear ... the variance
+with respect to the three document sets is not high ... The average value of
+e/d is 3.4 for these documents."
+
+We run FastMatch + EditScript on all version pairs within each of the three
+synthetic document sets, measure (d, e) of the produced scripts, and report
+the e/d series per set. Expected shape: near-linear growth of e with d and a
+set-insensitive e/d ratio. The absolute ratio depends on how much of the
+workload is subtree moves (which weigh |x|); the mutation mix used here is
+paragraph-move heavy to mirror document editing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import result_distances
+from repro.diff import tree_diff
+from repro.ladiff.pipeline import default_match_config
+from repro.workload import MutationMix, make_document_set
+from repro.workload.documents import DocumentSpec
+
+from conftest import print_table
+
+#: Document-editing mix: moves of whole paragraphs dominate, as in the
+#: paper's "conference paper versions" (sections reshuffled, text edited).
+MOVE_HEAVY_MIX = MutationMix(
+    insert_leaf=1.0,
+    delete_leaf=1.0,
+    update_leaf=1.0,
+    move_leaf=0.5,
+    move_subtree=2.0,
+    insert_subtree=0.2,
+    delete_subtree=0.2,
+)
+
+SETS = [
+    ("set-A (small)", 11, DocumentSpec(sections=4, paragraphs_per_section=5,
+                                       sentences_per_paragraph=4)),
+    ("set-B (medium)", 23, DocumentSpec(sections=6, paragraphs_per_section=6,
+                                        sentences_per_paragraph=5)),
+    ("set-C (large)", 47, DocumentSpec(sections=8, paragraphs_per_section=8,
+                                       sentences_per_paragraph=6)),
+]
+
+
+def collect_points():
+    """All (set, n, d, e) points across version pairs of the three sets."""
+    points = []
+    for name, seed, spec in SETS:
+        document_set = make_document_set(
+            name, seed=seed, spec=spec,
+            edit_counts=(0, 4, 8, 16, 32), mix=MOVE_HEAVY_MIX,
+        )
+        for older, newer in document_set.pairs():
+            config = default_match_config()
+            result = tree_diff(older.tree, newer.tree, config=config)
+            assert result.verify(older.tree, newer.tree)
+            distances = result_distances(older.tree, result.edit)
+            if distances.unweighted == 0:
+                continue
+            leaves = sum(1 for _ in older.tree.leaves())
+            points.append(
+                {
+                    "set": name,
+                    "n": leaves,
+                    "d": distances.unweighted,
+                    "e": distances.weighted,
+                    "ratio": distances.ratio,
+                }
+            )
+    return points
+
+
+def report(points):
+    rows = [
+        (p["set"], p["n"], p["d"], f"{p['e']:.0f}", f"{p['ratio']:.2f}")
+        for p in sorted(points, key=lambda p: (p["set"], p["d"]))
+    ]
+    print_table(
+        "Figure 13(a): weighted (e) vs unweighted (d) edit distance",
+        ["document set", "n (leaves)", "d", "e", "e/d"],
+        rows,
+    )
+    ratios = [p["ratio"] for p in points]
+    average = sum(ratios) / len(ratios)
+    print(f"average e/d = {average:.2f}  (paper: 3.4 on its own corpus)")
+    return average
+
+
+def test_fig13a_e_vs_d(benchmark):
+    points = benchmark.pedantic(collect_points, rounds=1, iterations=1)
+    average = report(points)
+    benchmark.extra_info["average_e_over_d"] = round(average, 3)
+    benchmark.extra_info["pairs_measured"] = len(points)
+
+    # --- Shape assertions (the reproduction claims) ---
+    # e grows with d within each set: positive correlation.
+    by_set = {}
+    for p in points:
+        by_set.setdefault(p["set"], []).append(p)
+    for name, set_points in by_set.items():
+        set_points.sort(key=lambda p: p["d"])
+        low = sum(p["e"] for p in set_points[: len(set_points) // 2])
+        high = sum(p["e"] for p in set_points[len(set_points) // 2 :])
+        assert high > low, f"{name}: e does not grow with d"
+    # e >= the non-update share of d, and e/d stays in a sane band.
+    assert 1.0 <= average <= 6.0
+    # Set-to-set variance of the mean ratio is low (paper: "not high").
+    means = [
+        sum(p["ratio"] for p in pts) / len(pts) for pts in by_set.values()
+    ]
+    assert max(means) - min(means) < 2.5
+
+
+if __name__ == "__main__":
+    report(collect_points())

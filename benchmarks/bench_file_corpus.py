@@ -1,0 +1,104 @@
+"""End-to-end LaDiff over materialized .tex files (the paper's §8 setup).
+
+The paper's experiments ran LaDiff over *files* — "three sets of files
+[containing] different versions of a document". This bench recreates that
+setup literally: synthetic documents are serialized to LaTeX files on disk,
+and the measured pipeline includes reading, parsing, matching, script
+generation, and mark-up rendering, i.e. the complete LaDiff program as a
+user would run it.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.ladiff import ladiff_files, write_latex
+from repro.workload import DocumentSpec, MutationEngine, generate_document
+
+from conftest import print_table
+
+SETS = [
+    ("small", DocumentSpec(sections=4, paragraphs_per_section=4,
+                           sentences_per_paragraph=4)),
+    ("medium", DocumentSpec(sections=6, paragraphs_per_section=6,
+                            sentences_per_paragraph=5)),
+    ("large", DocumentSpec(sections=9, paragraphs_per_section=8,
+                           sentences_per_paragraph=6)),
+]
+EDITS = 10
+
+
+def materialize(directory):
+    """Write version pairs of each size to .tex files; return their paths."""
+    cases = []
+    for index, (name, spec) in enumerate(SETS):
+        base = generate_document(2000 + index, spec)
+        edited = MutationEngine(2100 + index).mutate(base, EDITS).tree
+        old_path = os.path.join(directory, f"{name}_old.tex")
+        new_path = os.path.join(directory, f"{name}_new.tex")
+        with open(old_path, "w", encoding="utf-8") as handle:
+            handle.write(write_latex(base, full_document=True))
+        with open(new_path, "w", encoding="utf-8") as handle:
+            handle.write(write_latex(edited, full_document=True))
+        cases.append((name, old_path, new_path))
+    return cases
+
+
+def measure(cases):
+    rows = []
+    for name, old_path, new_path in cases:
+        start = time.perf_counter()
+        result = ladiff_files(old_path, new_path)
+        elapsed = time.perf_counter() - start
+        assert result.diff.verify(result.old_tree, result.new_tree)
+        rows.append(
+            {
+                "set": name,
+                "bytes": os.path.getsize(old_path) + os.path.getsize(new_path),
+                "sentences": sum(1 for _ in result.old_tree.leaves()),
+                "ops": len(result.script),
+                "ms": elapsed * 1e3,
+            }
+        )
+    return rows
+
+
+def report(rows):
+    print_table(
+        f"LaDiff end-to-end over .tex files ({EDITS} edits per pair)",
+        ["set", "input bytes", "sentences", "script ops", "total ms"],
+        [
+            (r["set"], r["bytes"], r["sentences"], r["ops"], f"{r['ms']:.1f}")
+            for r in rows
+        ],
+    )
+
+
+def test_file_corpus_end_to_end(benchmark):
+    with tempfile.TemporaryDirectory() as directory:
+        cases = materialize(directory)
+        rows = benchmark.pedantic(measure, args=(cases,), rounds=1, iterations=1)
+    report(rows)
+    for r in rows:
+        benchmark.extra_info[f"ms_{r['set']}"] = round(r["ms"], 1)
+        # deltas stay proportional to the edits, not the document size
+        assert r["ops"] < r["sentences"]
+    # near-linear end-to-end scaling: 4x content should not cost 40x time
+    assert rows[-1]["ms"] < rows[0]["ms"] * 40
+
+
+def test_single_file_pair_latency(benchmark):
+    with tempfile.TemporaryDirectory() as directory:
+        cases = materialize(directory)
+        _, old_path, new_path = cases[1]
+        result = benchmark(lambda: ladiff_files(old_path, new_path))
+        assert not result.script.is_empty()
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as directory:
+        report(measure(materialize(directory)))

@@ -1,0 +1,99 @@
+"""Flat diff drawbacks (§2): moves reported as delete+insert pairs.
+
+"Furthermore, these utilities do not detect moves of data — moves are
+always reported as deletions and insertions."
+
+We build documents where k paragraphs are moved (content otherwise
+untouched) and compare: the tree differ reports k unit-cost moves; the flat
+line differ reports one delete and one insert per moved *line*. The flat
+delta therefore grows with the amount of moved text while the tree delta
+stays equal to the number of moves.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import flat_diff, undetected_moves
+from repro.diff import tree_diff
+from repro.ladiff.pipeline import default_match_config
+from repro.workload import DocumentSpec, MutationMix, MutationEngine, generate_document
+
+from conftest import print_table
+
+MOVE_ONLY_MIX = MutationMix(
+    insert_leaf=0, delete_leaf=0, update_leaf=0, move_leaf=0,
+    move_subtree=1.0, insert_subtree=0, delete_subtree=0,
+)
+
+
+def build_cases():
+    cases = []
+    for moves in (1, 3, 6, 10):
+        base = generate_document(
+            500 + moves,
+            DocumentSpec(sections=5, paragraphs_per_section=5,
+                         sentences_per_paragraph=5),
+        )
+        engine = MutationEngine(600 + moves, mix=MOVE_ONLY_MIX)
+        mutated = engine.mutate(base, moves)
+        cases.append((moves, base, mutated.tree))
+    return cases
+
+
+def measure(cases):
+    rows = []
+    for moves, base, edited in cases:
+        tree_result = tree_diff(base, edited, config=default_match_config())
+        assert tree_result.verify(base, edited)
+        flat_result = flat_diff(base, edited)
+        rows.append(
+            {
+                "moves": moves,
+                "tree_ops": len(tree_result.script),
+                "tree_cost": tree_result.cost(),
+                "flat_changes": flat_result.total_changes,
+                "missed_moves": undetected_moves(base, edited),
+            }
+        )
+    return rows
+
+
+def report(rows):
+    print_table(
+        "Flat line diff vs tree diff on paragraph-move workloads",
+        ["paragraph moves", "tree-diff ops", "tree-diff cost",
+         "flat changed lines", "flat missed moves"],
+        [
+            (r["moves"], r["tree_ops"], f"{r['tree_cost']:.0f}",
+             r["flat_changes"], r["missed_moves"])
+            for r in rows
+        ],
+    )
+
+
+def test_flat_diff_misses_moves(benchmark):
+    cases = build_cases()
+    rows = benchmark.pedantic(measure, args=(cases,), rounds=1, iterations=1)
+    report(rows)
+    for r in rows:
+        # the tree differ represents each subtree move with ~1 op, so its
+        # script stays at (or near) the true move count...
+        assert r["tree_ops"] <= 3 * r["moves"]
+        # ...while the flat diff pays one delete + one insert per moved line.
+        assert r["flat_changes"] >= 2 * r["missed_moves"]
+        assert r["missed_moves"] >= 1
+        benchmark.extra_info[f"flat_lines_at_{r['moves']}_moves"] = r["flat_changes"]
+    # the flat delta grows much faster than the tree delta
+    assert rows[-1]["flat_changes"] > rows[-1]["tree_ops"] * 3
+
+
+def test_flat_diff_wallclock(benchmark):
+    _, base, edited = build_cases()[-1]
+    benchmark(lambda: flat_diff(base, edited))
+
+
+if __name__ == "__main__":
+    report(measure(build_cases()))

@@ -1,0 +1,117 @@
+"""Match vs FastMatch: the §5.3 comparison-count claim.
+
+"A comparison of Formula (2) with Formula (1) shows that Algorithm FastMatch
+is substantially faster than Algorithm Match when e is small compared to n,
+as is typically the case."
+
+We measure actual leaf comparisons (r1) and wall-clock time of both
+algorithms over growing documents with a fixed, small number of edits, and
+check that FastMatch's advantage grows with n.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.ladiff.pipeline import default_match_config
+from repro.matching import MatchingStats, fast_match, match
+from repro.workload import DocumentSpec, MutationEngine, generate_document
+
+from conftest import print_table
+
+SIZES = [
+    ("small", DocumentSpec(sections=3, paragraphs_per_section=4,
+                           sentences_per_paragraph=4)),
+    ("medium", DocumentSpec(sections=6, paragraphs_per_section=6,
+                            sentences_per_paragraph=5)),
+    ("large", DocumentSpec(sections=10, paragraphs_per_section=8,
+                           sentences_per_paragraph=6)),
+]
+EDITS = 8
+
+
+def build_pairs():
+    pairs = []
+    for index, (name, spec) in enumerate(SIZES):
+        base = generate_document(100 + index, spec)
+        edited = MutationEngine(200 + index).mutate(base, EDITS).tree
+        pairs.append((name, base, edited))
+    return pairs
+
+
+def measure(pairs):
+    rows = []
+    for name, base, edited in pairs:
+        config = default_match_config()
+        n = sum(1 for _ in base.leaves()) + sum(1 for _ in edited.leaves())
+
+        slow_stats = MatchingStats()
+        start = time.perf_counter()
+        slow = match(base, edited, config, stats=slow_stats)
+        slow_time = time.perf_counter() - start
+
+        fast_stats = MatchingStats()
+        start = time.perf_counter()
+        fast = fast_match(base, edited, config, stats=fast_stats)
+        fast_time = time.perf_counter() - start
+
+        rows.append(
+            {
+                "workload": name,
+                "n": n,
+                "match_r1": slow_stats.leaf_compares,
+                "fast_r1": fast_stats.leaf_compares,
+                "r1_ratio": slow_stats.leaf_compares / max(1, fast_stats.leaf_compares),
+                "match_ms": slow_time * 1e3,
+                "fast_ms": fast_time * 1e3,
+                "same_pairs": set(slow.pairs()) == set(fast.pairs()),
+            }
+        )
+    return rows
+
+
+def report(rows):
+    print_table(
+        f"Match vs FastMatch ({EDITS} edits, growing n)",
+        ["workload", "n", "Match r1", "FastMatch r1", "r1 ratio",
+         "Match ms", "FastMatch ms", "same matching"],
+        [
+            (
+                r["workload"], r["n"], r["match_r1"], r["fast_r1"],
+                f"{r['r1_ratio']:.1f}x", f"{r['match_ms']:.1f}",
+                f"{r['fast_ms']:.1f}", "yes" if r["same_pairs"] else "no",
+            )
+            for r in rows
+        ],
+    )
+
+
+def test_match_vs_fastmatch_comparisons(benchmark):
+    pairs = build_pairs()
+    rows = benchmark.pedantic(measure, args=(pairs,), rounds=1, iterations=1)
+    report(rows)
+    for r in rows:
+        benchmark.extra_info[f"r1_ratio_{r['workload']}"] = round(r["r1_ratio"], 2)
+        # FastMatch never does more comparisons than Match here
+        assert r["fast_r1"] <= r["match_r1"]
+    # the advantage grows with n (e fixed): the paper's asymptotic claim
+    ratios = [r["r1_ratio"] for r in rows]
+    assert ratios[-1] > ratios[0]
+
+
+def test_fastmatch_wallclock_large(benchmark):
+    _, base, edited = build_pairs()[-1]
+    config = default_match_config()
+    benchmark(lambda: fast_match(base, edited, config))
+
+
+def test_match_wallclock_large(benchmark):
+    _, base, edited = build_pairs()[-1]
+    config = default_match_config()
+    benchmark(lambda: match(base, edited, config))
+
+
+if __name__ == "__main__":
+    report(measure(build_pairs()))

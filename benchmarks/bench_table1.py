@@ -1,0 +1,99 @@
+"""Table 1: upper bound on mismatched paragraphs vs match threshold t.
+
+Paper (for its document corpus):
+
+    t:            0.5  0.6  0.7  0.8  0.9  1.0
+    mismatch %:    -    1    3    7    9   10
+
+The estimator counts paragraphs satisfying the *necessary* condition for a
+mismatch: more than ``(1 - t) * |x|`` of their leaves violate Matching
+Criterion 3 (see ``repro.analysis.mismatch``). The reproduction claims are
+the shape: monotone non-decreasing in t, near zero at t = 0.5, and bounded
+by a small percentage at t = 1.0 when documents have few near-duplicate
+sentences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import mismatch_upper_bound
+from repro.workload import DocumentGenerator, DocumentSpec, MutationEngine
+
+from conftest import print_table
+
+THRESHOLDS = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: A duplicate rate chosen so some Criterion-3 violations exist (as in real
+#: documents: "legal documents may have many sentences that are almost
+#: identical"), without dominating the corpus.
+DUPLICATE_RATE = 0.015
+
+
+def collect_estimates():
+    """Average the flagged-paragraph percentage across several documents."""
+    totals = {t: [0, 0] for t in THRESHOLDS}  # t -> [flagged, total]
+    for seed in range(6):
+        generator = DocumentGenerator(seed)
+        spec = DocumentSpec(
+            sections=6,
+            paragraphs_per_section=6,
+            sentences_per_paragraph=5,
+            duplicate_sentence_rate=DUPLICATE_RATE,
+        )
+        old = generator.document(spec)
+        new = MutationEngine(seed + 100).mutate(old, 12).tree
+        for estimate in mismatch_upper_bound(old, new, thresholds=THRESHOLDS):
+            totals[estimate.t][0] += estimate.flagged
+            totals[estimate.t][1] += estimate.total
+    return {
+        t: (100.0 * flagged / total if total else 0.0)
+        for t, (flagged, total) in totals.items()
+    }
+
+
+def report(percentages):
+    rows = [
+        tuple(f"{t:.1f}" for t in THRESHOLDS),
+        tuple(f"{percentages[t]:.1f}" for t in THRESHOLDS),
+    ]
+    print_table(
+        "Table 1: upper bound on mismatched paragraphs (%)",
+        ["t=" + f"{t:.1f}" for t in THRESHOLDS],
+        [rows[1]],
+    )
+    print("paper's corpus:  -   1    3    7    9    10   (same monotone shape)")
+
+
+def test_table1_mismatch_bound(benchmark):
+    percentages = benchmark.pedantic(collect_estimates, rounds=1, iterations=1)
+    report(percentages)
+    for t in THRESHOLDS:
+        benchmark.extra_info[f"pct_at_t{t}"] = round(percentages[t], 2)
+
+    values = [percentages[t] for t in THRESHOLDS]
+    # --- Shape assertions ---
+    # 1. Monotone non-decreasing in t (Table 1's defining property).
+    assert values == sorted(values)
+    # 2. Near zero at t = 0.5 (a mismatch needs a majority of ambiguous
+    #    leaves there).
+    assert values[0] <= 2.0
+    # 3. Bounded: even at t = 1.0 only a small fraction is at risk.
+    assert values[-1] <= 30.0
+    # 4. Something is flagged at t = 1.0 (the duplicates are detectable).
+    assert values[-1] > 0.0
+
+
+def test_table1_no_duplicates_all_zero():
+    """Without near-duplicate sentences, the bound vanishes entirely."""
+    generator = DocumentGenerator(3)
+    old = generator.document(DocumentSpec(sections=4, duplicate_sentence_rate=0.0))
+    new = MutationEngine(7).mutate(old, 8).tree
+    estimates = mismatch_upper_bound(old, new, thresholds=THRESHOLDS)
+    # the synthetic vocabulary can still produce rare accidental closeness;
+    # require near-zero rather than exactly zero
+    assert all(estimate.percent <= 5.0 for estimate in estimates)
+
+
+if __name__ == "__main__":
+    report(collect_estimates())

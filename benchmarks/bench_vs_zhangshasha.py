@@ -1,0 +1,114 @@
+"""Our pipeline vs the Zhang-Shasha [ZS89] baseline (§2 comparison).
+
+The paper: "[ZS89] runs in time O(n^2 log^2 n) for balanced trees ... our
+algorithm runs in time O(ne + e^2)". The practical consequence: with a fixed
+number of edits, ZS's cost explodes with document size while FastMatch +
+EditScript stays near-linear. We time both on growing documents and check
+that the speedup grows with n.
+
+(ZS sizes are kept modest — that is the point of the comparison.)
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines import zhang_shasha_distance
+from repro.diff import tree_diff
+from repro.ladiff.pipeline import default_match_config
+from repro.workload import DocumentSpec, MutationEngine, generate_document
+
+from conftest import print_table
+
+SIZES = [
+    ("small", DocumentSpec(sections=4, paragraphs_per_section=4,
+                           sentences_per_paragraph=4)),
+    ("medium", DocumentSpec(sections=6, paragraphs_per_section=6,
+                            sentences_per_paragraph=5)),
+    ("large", DocumentSpec(sections=8, paragraphs_per_section=8,
+                           sentences_per_paragraph=5)),
+]
+EDITS = 4
+
+
+def build_pairs():
+    pairs = []
+    for index, (name, spec) in enumerate(SIZES):
+        base = generate_document(300 + index, spec)
+        edited = MutationEngine(400 + index).mutate(base, EDITS).tree
+        pairs.append((name, base, edited))
+    return pairs
+
+
+def measure(pairs):
+    rows = []
+    for name, base, edited in pairs:
+        n = len(base) + len(edited)
+
+        start = time.perf_counter()
+        result = tree_diff(base, edited, config=default_match_config())
+        ours_time = time.perf_counter() - start
+        assert result.verify(base, edited)
+
+        start = time.perf_counter()
+        zs = zhang_shasha_distance(base, edited)
+        zs_time = time.perf_counter() - start
+
+        rows.append(
+            {
+                "workload": name,
+                "n": n,
+                "ours_ms": ours_time * 1e3,
+                "ours_cost": result.cost(),
+                "zs_ms": zs_time * 1e3,
+                "zs_cost": zs,
+                "speedup": zs_time / max(ours_time, 1e-9),
+            }
+        )
+    return rows
+
+
+def report(rows):
+    print_table(
+        f"FastMatch+EditScript vs Zhang-Shasha ({EDITS} edits)",
+        ["workload", "n (nodes)", "ours ms", "ours cost", "ZS ms", "ZS cost",
+         "speedup"],
+        [
+            (
+                r["workload"], r["n"], f"{r['ours_ms']:.1f}",
+                f"{r['ours_cost']:.1f}", f"{r['zs_ms']:.1f}",
+                f"{r['zs_cost']:.0f}", f"{r['speedup']:.0f}x",
+            )
+            for r in rows
+        ],
+    )
+
+
+def test_ours_vs_zhangshasha_scaling(benchmark):
+    pairs = build_pairs()
+    rows = benchmark.pedantic(measure, args=(pairs,), rounds=1, iterations=1)
+    report(rows)
+    for r in rows:
+        benchmark.extra_info[f"speedup_{r['workload']}"] = round(r["speedup"], 1)
+    # the gap widens as n grows with e fixed (quadratic vs ~linear)
+    speedups = [r["speedup"] for r in rows]
+    assert speedups[-1] > speedups[0]
+    # on the largest workload the speedup is large
+    assert speedups[-1] > 5
+
+
+def test_zhangshasha_wallclock_small(benchmark):
+    _, base, edited = build_pairs()[0]
+    benchmark(lambda: zhang_shasha_distance(base, edited))
+
+
+def test_ours_wallclock_medium(benchmark):
+    _, base, edited = build_pairs()[-1]
+    config = default_match_config()
+    benchmark(lambda: tree_diff(base, edited, config=config))
+
+
+if __name__ == "__main__":
+    report(measure(build_pairs()))

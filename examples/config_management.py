@@ -1,0 +1,125 @@
+"""Configuration management across autonomous databases (paper §1).
+
+"Consider the correlation of data stored in an architect's database with
+data stored in an electrician's database, where both databases are for the
+same building project. For autonomy reasons, the databases are updated
+independently. However, periodic consistent configurations of the entire
+design must be produced. This can be done by computing the deltas with
+respect to the last configuration and highlighting any conflicts."
+
+This example models the building design as an object hierarchy (building ->
+floors -> rooms -> components). Object records carry database ids — but, as
+the paper stresses (§5), ids are NOT stable across versions ("the record
+representing a pillar ... may have id 778899, but the same pillar in a
+subsequent version may have id 12345"), so components are matched by value.
+The deltas of the two departments against the shared baseline are computed
+and overlapping edits are flagged as conflicts.
+
+Run:  python examples/config_management.py
+"""
+
+from repro import Tree, tree_diff
+from repro.matching import MatchConfig
+
+
+def building(version: str) -> Tree:
+    """A small building design; versions differ per department's edits."""
+    rooms_floor1 = [
+        ("room", "lobby", [
+            ("component", "pillar concrete 3.2m load-bearing north"),
+            ("component", "window double-glazed 2x3 east"),
+            ("component", "outlet 120V duplex north wall"),
+        ]),
+        ("room", "office 101", [
+            ("component", "wall drywall interior south"),
+            ("component", "outlet 120V duplex west wall"),
+            ("component", "light fixture fluorescent ceiling"),
+        ]),
+    ]
+    rooms_floor2 = [
+        ("room", "office 201", [
+            ("component", "wall drywall interior south"),
+            ("component", "light fixture fluorescent ceiling"),
+        ]),
+    ]
+
+    if version == "architect":
+        # The architect widened the lobby window and moved a wall upstairs.
+        rooms_floor1[0][2][1] = ("component", "window double-glazed 2x4 east")
+        rooms_floor2[0][2].append(("component", "wall glass partition north"))
+    elif version == "electrician":
+        # The electrician rewired office 101 and added a lobby circuit.
+        rooms_floor1[1][2][1] = ("component", "outlet 240V single west wall")
+        rooms_floor1[0][2].append(("component", "breaker panel 100A north"))
+
+    return Tree.from_obj(
+        ("building", "project 1337", [
+            ("floor", "floor 1", rooms_floor1),
+            ("floor", "floor 2", rooms_floor2),
+        ])
+    )
+
+
+def describe(script, label):
+    print(f"\n{label} delta ({len(script)} operations):")
+    for op in script:
+        print("  ", op)
+
+
+def main() -> None:
+    baseline = building("baseline")
+    architect = building("architect")
+    electrician = building("electrician")
+
+    # Rooms/floors have stable names; components are keyless and matched by
+    # their record values (Criterion 1 on the value, Criterion 2 above).
+    config = MatchConfig(f=0.6, t=0.5)
+
+    delta_architect = tree_diff(baseline, architect, config=config)
+    delta_electrician = tree_diff(baseline, electrician, config=config)
+    assert delta_architect.verify(baseline, architect)
+    assert delta_electrician.verify(baseline, electrician)
+
+    describe(delta_architect.script, "architect")
+    describe(delta_electrician.script, "electrician")
+
+    # Conflict detection: baseline nodes touched by both departments.
+    touched_a = touched_nodes(delta_architect)
+    touched_e = touched_nodes(delta_electrician)
+    conflicts = touched_a & touched_e
+    print("\nconflict check:")
+    if conflicts:
+        for node_id in sorted(conflicts, key=str):
+            node = baseline.get(node_id)
+            print(f"  CONFLICT on {node.label} {node.value!r} (node {node_id})")
+    else:
+        print("  no overlapping edits — configurations can be merged")
+
+    # Produce the periodic consistent configuration (three-way merge).
+    from repro.merge import three_way_merge
+
+    merge = three_way_merge(baseline, architect, electrician, config=config)
+    print("\nmerged configuration (both departments' edits):")
+    print(merge.tree.pretty(show_ids=False))
+    if merge.conflicts:
+        print("merge conflicts needing human review:")
+        for conflict in merge.conflicts:
+            print(f"  [{conflict.kind}] {conflict.description}")
+    else:
+        print("merge completed without conflicts")
+
+
+def touched_nodes(diff_result):
+    """Baseline node ids updated, moved, or deleted by a delta."""
+    touched = set()
+    for op in diff_result.script.updates:
+        touched.add(op.node_id)
+    for op in diff_result.script.moves:
+        touched.add(op.node_id)
+    for op in diff_result.script.deletes:
+        touched.add(op.node_id)
+    return touched
+
+
+if __name__ == "__main__":
+    main()

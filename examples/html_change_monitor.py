@@ -1,0 +1,77 @@
+"""Web-page change monitoring — the paper's introductory scenario.
+
+"A user may visit certain (HTML) documents repeatedly and is interested in
+knowing how each document has changed since the last visit ... a paragraph
+that has moved could be marked with a tombstone in its old position and be
+highlighted in its new position."
+
+This example simulates that workflow: it keeps the previous snapshot of a
+page (as web browsers already do for caching), diffs it against the new
+snapshot, and emits an annotated HTML page plus a textual changelog.
+
+Run:  python examples/html_change_monitor.py [annotated.html]
+"""
+
+import sys
+
+from repro.deltatree import render_html
+from repro.ladiff import ladiff
+
+SNAPSHOT_MONDAY = """
+<html><body>
+<h1>Departmental News</h1>
+<p>The seminar on query optimization is on Friday. Coffee is provided.</p>
+<p>The reading group meets in room 252 this week. Bring the warehouse paper.
+We will discuss incremental view maintenance.</p>
+<h1>Announcements</h1>
+<ul>
+  <li>The lab printer is broken again.</li>
+  <li>New GPUs arrive next month.</li>
+</ul>
+<p>Submit travel reimbursements by the end of the quarter.</p>
+</body></html>
+"""
+
+SNAPSHOT_TUESDAY = """
+<html><body>
+<h1>Departmental News</h1>
+<p>The reading group meets in room 252 this week. Bring the warehouse paper.
+We will discuss incremental view maintenance and change detection.</p>
+<p>The seminar on query optimization is on Friday. Coffee is provided.</p>
+<h1>Announcements</h1>
+<ul>
+  <li>The lab printer has been fixed.</li>
+  <li>New GPUs arrive next month.</li>
+  <li>The systems lunch moves to Tuesdays.</li>
+</ul>
+<p>Submit travel reimbursements by the end of the quarter.</p>
+</body></html>
+"""
+
+
+def main() -> None:
+    result = ladiff(
+        SNAPSHOT_MONDAY, SNAPSHOT_TUESDAY, format="html", output="text"
+    )
+
+    print("what changed since your last visit:")
+    print("  ", result.summary())
+    print("\nedit script:")
+    for op in result.script:
+        print("  ", op)
+
+    print("\nannotated structure:")
+    print(result.output)
+
+    annotated = render_html(result.delta, full_document=True)
+    if len(sys.argv) > 1:
+        path = sys.argv[1]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(annotated)
+        print(f"\nwrote annotated page to {path} (open it in a browser)")
+    else:
+        print("\n(pass an output path to write the annotated HTML page)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Diffing JSON documents with the OEM bridge.
+
+The paper's label-value trees come from the Object Exchange Model for
+semi-structured data [PGMW95] — which is exactly what JSON is. This example
+monitors a service-health API: each poll returns a JSON payload, and the
+differ reports what changed, fires alert rules, and produces a patch that
+carries one payload to the next.
+
+Run:  python examples/json_api_diff.py
+"""
+
+from repro.deltatree import Rule, RuleEngine, build_delta_tree, render_text, select
+from repro.oem import json_diff
+
+POLL_1 = {
+    "service": "checkout",
+    "region": "us-east",
+    "endpoints": [
+        {"path": "/cart", "status": "healthy", "p99_ms": 95},
+        {"path": "/pay", "status": "healthy", "p99_ms": 180},
+        {"path": "/refund", "status": "healthy", "p99_ms": 310},
+    ],
+    "notes": "all quiet on the checkout front",
+}
+
+POLL_2 = {
+    "service": "checkout",
+    "region": "us-east",
+    "endpoints": [
+        {"path": "/cart", "status": "healthy", "p99_ms": 102},
+        {"path": "/pay", "status": "degraded", "p99_ms": 2400},
+        {"path": "/refund", "status": "healthy", "p99_ms": 305},
+        {"path": "/pay-v2", "status": "canary", "p99_ms": 150},
+    ],
+    "notes": "all quiet on the checkout front, except payments",
+}
+
+
+def main() -> None:
+    result = json_diff(POLL_1, POLL_2)
+    assert result.verify()
+
+    print("edit script between polls:")
+    for op in result.script:
+        print("  ", op)
+
+    delta = build_delta_tree(result.old_tree, result.new_tree, result.diff.edit)
+    print("\nannotated payload structure:")
+    print(render_text(delta))
+
+    # Alerting: fire on any changed scalar that mentions a bad status.
+    alerts = []
+    engine = RuleEngine().add(
+        Rule(
+            name="status-watch",
+            events=("UPD", "INS"),
+            condition=lambda m: "degraded" in str(m.node.value),
+            action=lambda m: alerts.append(m.pretty_path),
+        )
+    )
+    engine.run(delta)
+    print("\nalerts:")
+    for path in alerts:
+        print("  status degraded at", path)
+
+    # Query: which endpoint objects saw any change?
+    changed_scalars = select(delta, path="**/scalar",
+                             tags=["UPD", "INS", "DEL"])
+    print(f"\nchanged scalar fields: {len(changed_scalars)}")
+
+    # Patch: carry the old payload forward using only the delta.
+    patched = result.patch(POLL_1)
+    assert patched == POLL_2
+    print("patch(POLL_1) == POLL_2  [ok]")
+
+
+if __name__ == "__main__":
+    main()

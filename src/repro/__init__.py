@@ -1,0 +1,63 @@
+"""repro — change detection in hierarchically structured information.
+
+A faithful, production-quality reproduction of:
+
+    S. Chawathe, A. Rajaraman, H. Garcia-Molina, J. Widom.
+    "Change Detection in Hierarchically Structured Information."
+    SIGMOD 1996.
+
+Quickstart::
+
+    from repro import Tree, tree_diff
+
+    old = Tree.from_obj(("D", None, [("P", None, [("S", "hello world")])]))
+    new = Tree.from_obj(("D", None, [("P", None, [("S", "hello there world")])]))
+    result = tree_diff(old, new)
+    print(result.script)          # UPD(...)
+    assert result.verify(old, new)
+
+Public surface:
+
+* :class:`Tree`, :class:`Node` — ordered labeled-value trees.
+* :func:`tree_diff` — end-to-end matching + edit-script generation.
+* :mod:`repro.matching` — Match / FastMatch / criteria / schemas.
+* :mod:`repro.editscript` — operations, scripts, Algorithm EditScript.
+* :mod:`repro.deltatree` — annotated delta trees and renderers.
+* :mod:`repro.ladiff` — the LaDiff structured-document differ.
+* :mod:`repro.baselines` — Zhang–Shasha and flat line diff comparators.
+* :mod:`repro.workload` — synthetic trees/documents and mutation engines.
+* :mod:`repro.analysis` — edit-distance metrics and the §8 instrumentation.
+"""
+
+from .core.node import Node
+from .core.tree import Tree
+from .core.isomorphism import trees_isomorphic
+from .diff import DiffResult, tree_diff
+from .editscript.generator import generate_edit_script
+from .editscript.script import EditScript
+from .matching.criteria import MatchConfig
+from .matching.fastmatch import fast_match
+from .matching.matching import Matching
+from .matching.simple import match
+from .merge import MergeResult, three_way_merge
+from .store import VersionStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiffResult",
+    "EditScript",
+    "MatchConfig",
+    "Matching",
+    "MergeResult",
+    "Node",
+    "Tree",
+    "VersionStore",
+    "__version__",
+    "fast_match",
+    "generate_edit_script",
+    "match",
+    "three_way_merge",
+    "tree_diff",
+    "trees_isomorphic",
+]

@@ -1,0 +1,29 @@
+"""Analysis utilities: distances, analytical bounds, mismatch estimation."""
+
+from .bounds import (
+    TreePairSizes,
+    editscript_bound,
+    fastmatch_bound,
+    match_bound,
+    tree_pair_sizes,
+)
+from .metrics import EditDistances, result_distances, script_distances
+from .mismatch import MismatchEstimate, ambiguous_leaves, mismatch_upper_bound
+from .quality import MatchQuality, matching_quality, pair_sets
+
+__all__ = [
+    "EditDistances",
+    "MismatchEstimate",
+    "TreePairSizes",
+    "MatchQuality",
+    "ambiguous_leaves",
+    "editscript_bound",
+    "fastmatch_bound",
+    "match_bound",
+    "matching_quality",
+    "mismatch_upper_bound",
+    "pair_sets",
+    "result_distances",
+    "script_distances",
+    "tree_pair_sizes",
+]

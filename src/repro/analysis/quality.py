@@ -1,0 +1,87 @@
+"""Matching-quality evaluation against ground truth.
+
+The workload generators mutate a *copy* of the base tree, and copies
+preserve node identifiers — so for any (base, mutated) pair from
+:mod:`repro.workload`, the true correspondence is simply "same id on both
+sides" (restricted to nodes that survived). That makes precision/recall of
+any matcher measurable, which the paper could not do on its corpus (it
+bounded mismatches indirectly — Table 1). The ablation benches use this to
+quantify what the thresholds and A(k) actually trade away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+from ..core.tree import Tree
+from ..matching.matching import Matching
+
+
+@dataclass(frozen=True)
+class MatchQuality:
+    """Precision/recall of a proposed matching against the id ground truth.
+
+    ``true_pairs`` is the number of nodes present in both versions (same
+    id); a proposed pair is *correct* when it joins a surviving node to its
+    own other-version self.
+    """
+
+    true_pairs: int
+    proposed_pairs: int
+    correct_pairs: int
+
+    @property
+    def precision(self) -> float:
+        if self.proposed_pairs == 0:
+            return 1.0
+        return self.correct_pairs / self.proposed_pairs
+
+    @property
+    def recall(self) -> float:
+        if self.true_pairs == 0:
+            return 1.0
+        return self.correct_pairs / self.true_pairs
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+
+def matching_quality(
+    base: Tree,
+    mutated: Tree,
+    matching: Matching,
+) -> MatchQuality:
+    """Score *matching* against the shared-id ground truth.
+
+    Only meaningful when *mutated* was derived from *base* by an
+    id-preserving process (``Tree.copy`` + mutations — everything in
+    :mod:`repro.workload` qualifies). Nodes inserted by the mutation get
+    fresh ids and therefore cannot create false "true pairs".
+    """
+    ids1: Set = set(base.node_ids())
+    ids2: Set = set(mutated.node_ids())
+    survivors = ids1 & ids2
+    correct = sum(
+        1 for x, y in matching.pairs() if x == y and x in survivors
+    )
+    return MatchQuality(
+        true_pairs=len(survivors),
+        proposed_pairs=len(matching),
+        correct_pairs=correct,
+    )
+
+
+def pair_sets(
+    base: Tree, mutated: Tree, matching: Matching
+) -> Tuple[Set, Set]:
+    """(true pair ids, proposed-correct pair ids) for detailed analysis."""
+    survivors = set(base.node_ids()) & set(mutated.node_ids())
+    correct = {
+        x for x, y in matching.pairs() if x == y and x in survivors
+    }
+    return survivors, correct

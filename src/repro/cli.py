@@ -1,0 +1,180 @@
+"""Command-line interface: structured diffing from the shell.
+
+Subcommands
+-----------
+``ladiff``   Diff two document files (LaTeX/HTML/text) and emit marked-up
+             output — the LaDiff program of paper §7 as a CLI.
+``script``   Diff two tree files (s-expression or JSON dict format) and
+             print the edit script in paper notation (or JSON).
+``stats``    Diff two document files and report the §8 measurements:
+             d, e, e/d, comparison counts, and the analytical bound.
+
+Examples::
+
+    repro-diff ladiff old.tex new.tex -o marked_up.tex
+    repro-diff script old.sexpr new.sexpr --json
+    repro-diff stats old.tex new.tex
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .analysis import fastmatch_bound, result_distances, tree_pair_sizes
+from .core.serialization import tree_from_dict, tree_from_sexpr
+from .core.tree import Tree
+from .diff import tree_diff
+from .editscript.generator import generate_edit_script
+from .ladiff.pipeline import default_match_config, ladiff
+from .matching.criteria import MatchingStats
+from .matching.fastmatch import fast_match
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-diff",
+        description="Change detection in hierarchically structured information "
+        "(Chawathe et al., SIGMOD 1996).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ladiff = sub.add_parser("ladiff", help="diff two documents, emit mark-up")
+    p_ladiff.add_argument("old", help="old document file")
+    p_ladiff.add_argument("new", help="new document file")
+    p_ladiff.add_argument(
+        "--format", choices=("latex", "html", "text"), default="latex",
+        help="input format (default: latex)",
+    )
+    p_ladiff.add_argument(
+        "--output-format", choices=("latex", "html", "text"), default=None,
+        help="output mark-up (default: same as input format)",
+    )
+    p_ladiff.add_argument(
+        "-t", type=float, default=0.5, help="match threshold t (default 0.5)"
+    )
+    p_ladiff.add_argument(
+        "-f", type=float, default=0.6, help="leaf threshold f (default 0.6)"
+    )
+    p_ladiff.add_argument(
+        "-o", "--out", default=None, help="write output here instead of stdout"
+    )
+    p_ladiff.add_argument(
+        "--summary", action="store_true", help="also print a change summary"
+    )
+
+    p_script = sub.add_parser("script", help="diff two tree files, emit edit script")
+    p_script.add_argument("old", help="old tree file (.sexpr or .json)")
+    p_script.add_argument("new", help="new tree file (.sexpr or .json)")
+    p_script.add_argument(
+        "--json", action="store_true", help="emit the script as JSON"
+    )
+    p_script.add_argument(
+        "-t", type=float, default=0.5, help="match threshold t (default 0.5)"
+    )
+    p_script.add_argument(
+        "-f", type=float, default=0.6, help="leaf threshold f (default 0.6)"
+    )
+
+    p_stats = sub.add_parser("stats", help="diff two documents, report measurements")
+    p_stats.add_argument("old")
+    p_stats.add_argument("new")
+    p_stats.add_argument(
+        "--format", choices=("latex", "html", "text"), default="latex"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "ladiff":
+        return _cmd_ladiff(args)
+    if args.command == "script":
+        return _cmd_script(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_ladiff(args) -> int:
+    config = default_match_config(t=args.t, f=args.f)
+    result = ladiff(
+        _read(args.old),
+        _read(args.new),
+        format=args.format,
+        config=config,
+        output=args.output_format or args.format,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.output)
+        print(f"wrote {args.out}")
+    else:
+        print(result.output)
+    if args.summary:
+        print(f"summary: {result.summary()}", file=sys.stderr)
+    return 0
+
+
+def _load_tree(path: str) -> Tree:
+    text = _read(path)
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return tree_from_dict(json.loads(text))
+    return tree_from_sexpr(text)
+
+
+def _cmd_script(args) -> int:
+    old = _load_tree(args.old)
+    new = _load_tree(args.new)
+    config = default_match_config(t=args.t, f=args.f)
+    result = tree_diff(old, new, config=config)
+    if not result.verify(old, new):  # pragma: no cover - guard
+        print("internal error: script failed verification", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.script.to_dicts(), indent=2))
+    else:
+        for op in result.script:
+            print(op)
+        print(f"# cost = {result.cost():.2f}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .ladiff.pipeline import _PARSERS
+
+    parser = _PARSERS[args.format]
+    old = parser(_read(args.old))
+    new = parser(_read(args.new))
+    config = default_match_config()
+    stats = MatchingStats()
+    matching = fast_match(old, new, config, stats=stats)
+    result = generate_edit_script(old, new, matching)
+    distances = result_distances(old, result)
+    sizes = tree_pair_sizes(old, new)
+    bound = fastmatch_bound(sizes, distances.weighted)
+    measured = stats.leaf_compares + stats.partner_checks
+    print(f"nodes (old/new):      {len(old)} / {len(new)}")
+    print(f"leaves total (n):     {sizes.leaves}")
+    print(f"unweighted dist (d):  {distances.unweighted}")
+    print(f"weighted dist (e):    {distances.weighted:.1f}")
+    print(f"e/d:                  {distances.ratio:.2f}")
+    print(f"leaf compares (r1):   {stats.leaf_compares}")
+    print(f"partner checks (r2):  {stats.partner_checks}")
+    print(f"measured total:       {measured}")
+    print(f"analytical bound:     {bound:.0f}")
+    if measured:
+        print(f"bound/measured:       {bound / measured:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Serialization of trees to and from plain data and s-expressions.
+
+Two interchange formats are supported:
+
+* **dict format** — JSON-friendly nested dictionaries carrying identifiers,
+  suitable for persisting snapshots ("database dumps" in the paper's legacy
+  scenario) and reloading them losslessly.
+* **s-expression format** — a compact human-writable text form used in tests
+  and example fixtures: ``(D (P (S "a") (S "b")))``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from .errors import ParseError
+from .node import Node
+from .tree import Tree
+
+
+# ---------------------------------------------------------------------------
+# dict format
+# ---------------------------------------------------------------------------
+def tree_to_dict(tree: Tree) -> Optional[Dict[str, Any]]:
+    """Serialize a tree to nested dicts, preserving node identifiers."""
+    if tree.root is None:
+        return None
+
+    def dump(node: Node) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"id": node.id, "label": node.label}
+        if node.value is not None:
+            out["value"] = node.value
+        if node.children:
+            out["children"] = [dump(child) for child in node.children]
+        return out
+
+    return dump(tree.root)
+
+
+def tree_from_dict(data: Optional[Dict[str, Any]]) -> Tree:
+    """Inverse of :func:`tree_to_dict`."""
+    tree = Tree()
+    if data is None:
+        return tree
+
+    def build(spec: Dict[str, Any], parent: Optional[Node]) -> None:
+        node = tree.create_node(
+            spec["label"],
+            spec.get("value"),
+            parent=parent,
+            node_id=spec.get("id"),
+        )
+        for child in spec.get("children", ()):
+            build(child, node)
+
+    build(data, None)
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# s-expression format
+# ---------------------------------------------------------------------------
+_TOKEN = re.compile(
+    r"""
+    \s*(?:
+        (?P<open>\() |
+        (?P<close>\)) |
+        (?P<string>"(?:[^"\\]|\\.)*") |
+        (?P<atom>[^\s()"]+)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def tree_to_sexpr(tree: Tree) -> str:
+    """Render a tree as an s-expression (identifiers are dropped)."""
+    if tree.root is None:
+        return "()"
+
+    def dump(node: Node) -> str:
+        parts = [node.label]
+        if node.value is not None:
+            parts.append(_quote(str(node.value)))
+        parts.extend(dump(child) for child in node.children)
+        return "(" + " ".join(parts) + ")"
+
+    return dump(tree.root)
+
+
+def tree_from_sexpr(text: str) -> Tree:
+    """Parse an s-expression such as ``(D (P (S "a") (S "b")))``.
+
+    The first atom of each list is the node's label; an optional quoted
+    string is the value; remaining lists are children.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty s-expression")
+    expr, rest = _parse_expr(tokens, 0)
+    if rest != len(tokens):
+        raise ParseError("trailing garbage after s-expression")
+    tree = Tree()
+    if expr == []:
+        return tree
+
+    def build(node_expr: Any, parent: Optional[Node]) -> None:
+        if not isinstance(node_expr, list) or not node_expr:
+            raise ParseError(f"expected a (label ...) list, got {node_expr!r}")
+        label = node_expr[0]
+        if not isinstance(label, str) or label.startswith('"'):
+            raise ParseError(f"node label must be a bare atom, got {label!r}")
+        rest = node_expr[1:]
+        value = None
+        if rest and isinstance(rest[0], str) and rest[0].startswith('"'):
+            value = _unquote(rest[0])
+            rest = rest[1:]
+        node = tree.create_node(label, value, parent=parent)
+        for child in rest:
+            build(child, node)
+
+    build(expr, None)
+    return tree
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"bad token near {remainder[:20]!r}")
+        pos = match.end()
+        for kind in ("open", "close", "string", "atom"):
+            token = match.group(kind)
+            if token is not None:
+                tokens.append(token)
+                break
+    return tokens
+
+
+def _parse_expr(tokens: List[str], pos: int) -> Any:
+    if tokens[pos] != "(":
+        raise ParseError(f"expected '(' at token {pos}, got {tokens[pos]!r}")
+    pos += 1
+    items: List[Any] = []
+    while pos < len(tokens) and tokens[pos] != ")":
+        if tokens[pos] == "(":
+            sub, pos = _parse_expr(tokens, pos)
+            items.append(sub)
+        else:
+            items.append(tokens[pos])
+            pos += 1
+    if pos >= len(tokens):
+        raise ParseError("unbalanced parentheses")
+    return items, pos + 1
+
+
+def _quote(value: str) -> str:
+    return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _unquote(token: str) -> str:
+    body = token[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")

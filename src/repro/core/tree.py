@@ -1,0 +1,399 @@
+"""Ordered labeled-value trees (the paper's data model, Section 3.1).
+
+A :class:`Tree` owns a set of :class:`~repro.core.node.Node` objects indexed
+by identifier and exposes exactly the four primitive mutations of the paper's
+edit model (Section 3.2):
+
+* :meth:`Tree.insert` — ``INS((x, l, v), y, k)``: new *leaf* as k-th child.
+* :meth:`Tree.delete` — ``DEL(x)``: remove a *leaf*.
+* :meth:`Tree.update` — ``UPD(x, val)``: replace a node's value.
+* :meth:`Tree.move`   — ``MOV(x, y, k)``: re-parent a whole subtree.
+
+Positions are 1-based, matching the paper. Structural invariants (leaf-only
+insert/delete, no cyclic moves, position bounds) are enforced eagerly so a
+buggy edit script fails loudly instead of corrupting the tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .errors import (
+    CyclicMoveError,
+    DuplicateNodeError,
+    InvalidPositionError,
+    NotALeafError,
+    RootOperationError,
+    TreeError,
+    UnknownNodeError,
+)
+from .node import Node
+
+#: Nested-structure shorthand accepted by :meth:`Tree.from_obj`:
+#: ``(label,)``, ``(label, value)`` or ``(label, value, [children...])``.
+NestedSpec = Tuple[Any, ...]
+
+
+class Tree:
+    """An ordered tree of labeled, valued nodes with unique identifiers."""
+
+    def __init__(self) -> None:
+        self.root: Optional[Node] = None
+        self._nodes: Dict[Any, Node] = {}
+        self._id_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_obj(cls, spec: NestedSpec) -> "Tree":
+        """Build a tree from nested ``(label, value, children)`` tuples.
+
+        Example::
+
+            Tree.from_obj(
+                ("D", None, [
+                    ("P", None, [("S", "a"), ("S", "b")]),
+                ])
+            )
+
+        Node identifiers are assigned automatically in preorder.
+        """
+        tree = cls()
+
+        def build(node_spec: NestedSpec, parent: Optional[Node]) -> None:
+            label, value, children = _unpack_spec(node_spec)
+            node = tree.create_node(label, value, parent=parent)
+            for child_spec in children:
+                build(child_spec, node)
+
+        build(spec, None)
+        return tree
+
+    def create_node(
+        self,
+        label: str,
+        value: Any = None,
+        parent: Optional[Node] = None,
+        position: Optional[int] = None,
+        node_id: Any = None,
+    ) -> Node:
+        """Create a node and attach it to the tree.
+
+        Unlike :meth:`insert` (the paper's ``INS``), this builder may attach
+        a node anywhere, including as the root, and is intended for initial
+        tree construction rather than for edit scripts.
+
+        Parameters
+        ----------
+        label, value:
+            The new node's label and value.
+        parent:
+            Parent node; ``None`` makes the node the root (only legal when
+            the tree is empty).
+        position:
+            1-based position among the parent's children; appended at the
+            end when omitted.
+        node_id:
+            Explicit identifier; generated when omitted.
+        """
+        if node_id is None:
+            node_id = self._fresh_id()
+        elif node_id in self._nodes:
+            raise DuplicateNodeError(node_id)
+
+        node = Node(node_id, label, value)
+        if parent is None:
+            if self.root is not None:
+                raise TreeError(
+                    "tree already has a root; pass a parent for the new node"
+                )
+            self.root = node
+        else:
+            parent = self._resolve(parent)
+            if position is None:
+                position = len(parent.children) + 1
+            self._attach(node, parent, position)
+        self._nodes[node_id] = node
+        return node
+
+    def _fresh_id(self) -> int:
+        while True:
+            node_id = next(self._id_counter)
+            if node_id not in self._nodes:
+                return node_id
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id: Any) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def get(self, node_id: Any) -> Node:
+        """Return the node with identifier *node_id* or raise."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def node_ids(self) -> Iterator[Any]:
+        """Yield all node identifiers (unordered)."""
+        return iter(self._nodes)
+
+    def _resolve(self, node_or_id: Any) -> Node:
+        if isinstance(node_or_id, Node):
+            if self._nodes.get(node_or_id.id) is not node_or_id:
+                raise UnknownNodeError(node_or_id.id)
+            return node_or_id
+        return self.get(node_or_id)
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+    def preorder(self) -> Iterator[Node]:
+        """Preorder traversal of the whole tree (empty tree yields nothing)."""
+        if self.root is None:
+            return iter(())
+        return self.root.preorder()
+
+    def postorder(self) -> Iterator[Node]:
+        """Postorder traversal of the whole tree."""
+        if self.root is None:
+            return iter(())
+        return self.root.postorder()
+
+    def bfs(self) -> Iterator[Node]:
+        """Breadth-first (level-order) traversal, as used by EditScript."""
+        if self.root is None:
+            return
+        queue: List[Node] = [self.root]
+        index = 0
+        while index < len(queue):
+            node = queue[index]
+            index += 1
+            yield node
+            queue.extend(node.children)
+
+    def leaves(self) -> Iterator[Node]:
+        """All leaves of the tree in document (left-to-right) order."""
+        if self.root is None:
+            return iter(())
+        return self.root.leaves()
+
+    def nodes_with_label(self, label: str) -> Iterator[Node]:
+        """Yield nodes with the given label in in-order (preorder) sequence.
+
+        This realizes the paper's ``chain_T(l)`` used by FastMatch: "all
+        nodes with a given label l in tree T are chained together from left
+        to right" in the order of an in-order traversal with siblings
+        visited left-to-right (preorder gives the same left-to-right order
+        for same-label chains).
+        """
+        for node in self.preorder():
+            if node.label == label:
+                yield node
+
+    def labels(self) -> Dict[str, int]:
+        """Return a mapping of label -> number of nodes carrying it."""
+        counts: Dict[str, int] = {}
+        for node in self.preorder():
+            counts[node.label] = counts.get(node.label, 0) + 1
+        return counts
+
+    def leaf_labels(self) -> List[str]:
+        """Labels that appear on at least one leaf."""
+        seen: Dict[str, None] = {}
+        for node in self.leaves():
+            seen.setdefault(node.label, None)
+        return list(seen)
+
+    def internal_labels(self) -> List[str]:
+        """Labels that appear on at least one interior node."""
+        seen: Dict[str, None] = {}
+        for node in self.preorder():
+            if not node.is_leaf:
+                seen.setdefault(node.label, None)
+        return list(seen)
+
+    def height(self) -> int:
+        """Length (in edges) of the longest root-to-leaf path; -1 if empty."""
+        if self.root is None:
+            return -1
+        best = 0
+        for node in self.preorder():
+            if node.is_leaf:
+                best = max(best, node.depth())
+        return best
+
+    # ------------------------------------------------------------------
+    # The four edit-model mutations (Section 3.2)
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        node_id: Any,
+        label: str,
+        value: Any,
+        parent_id: Any,
+        position: int,
+    ) -> Node:
+        """Apply ``INS((node_id, label, value), parent_id, position)``.
+
+        Inserts a new *leaf* node as the ``position``-th child of the parent
+        (1-based; ``len(children)+1`` appends).
+        """
+        if node_id in self._nodes:
+            raise DuplicateNodeError(node_id)
+        parent = self.get(parent_id)
+        node = Node(node_id, label, value)
+        self._attach(node, parent, position)
+        self._nodes[node_id] = node
+        return node
+
+    def delete(self, node_id: Any) -> Node:
+        """Apply ``DEL(node_id)``: remove a leaf node.
+
+        Deleting an interior node is illegal in the paper's model — its
+        descendants must be moved or deleted first — and raises
+        :class:`NotALeafError`.
+        """
+        node = self.get(node_id)
+        if node.children:
+            raise NotALeafError(node_id)
+        if node.parent is None:
+            raise RootOperationError("delete", node_id)
+        node.parent.children.remove(node)
+        node.parent = None
+        del self._nodes[node_id]
+        return node
+
+    def update(self, node_id: Any, value: Any) -> Node:
+        """Apply ``UPD(node_id, value)``: replace the node's value."""
+        node = self.get(node_id)
+        node.value = value
+        return node
+
+    def move(self, node_id: Any, parent_id: Any, position: int) -> Node:
+        """Apply ``MOV(node_id, parent_id, position)``.
+
+        The whole subtree rooted at *node_id* becomes the ``position``-th
+        child of *parent_id*. Position bounds are checked against the
+        parent's child list *after* detaching the node, so moving a node to
+        the end of its own parent uses ``len(children)`` (not ``+1``) when it
+        is already a child there — callers can simply pass the target rank
+        among the post-detach siblings, which is what the paper's FindPos
+        computes.
+        """
+        node = self.get(node_id)
+        target = self.get(parent_id)
+        if node.parent is None:
+            raise RootOperationError("move", node_id)
+        if node is target or node.is_ancestor_of(target):
+            raise CyclicMoveError(node_id, parent_id)
+        node.parent.children.remove(node)
+        node.parent = None
+        self._attach(node, target, position)
+        return node
+
+    def _attach(self, node: Node, parent: Node, position: int) -> None:
+        limit = len(parent.children) + 1
+        if not 1 <= position <= limit:
+            raise InvalidPositionError(position, limit)
+        parent.children.insert(position - 1, node)
+        node.parent = parent
+
+    # ------------------------------------------------------------------
+    # Copying and snapshots
+    # ------------------------------------------------------------------
+    def copy(self) -> "Tree":
+        """Return a deep structural copy preserving node identifiers."""
+        clone = Tree()
+        if self.root is None:
+            return clone
+        mapping: Dict[Any, Node] = {}
+        root = Node(self.root.id, self.root.label, self.root.value)
+        clone.root = root
+        clone._nodes[root.id] = root
+        mapping[self.root.id] = root
+        for node in self.preorder():
+            if node is self.root:
+                continue
+            twin = Node(node.id, node.label, node.value)
+            parent_twin = mapping[node.parent.id]
+            parent_twin.children.append(twin)
+            twin.parent = parent_twin
+            clone._nodes[twin.id] = twin
+            mapping[node.id] = twin
+        # Keep freshly generated ids disjoint from any numeric ids present.
+        numeric = [n for n in self._nodes if isinstance(n, int)]
+        if numeric:
+            clone._id_counter = itertools.count(max(numeric) + 1)
+        return clone
+
+    def to_obj(self) -> Optional[NestedSpec]:
+        """Inverse of :meth:`from_obj` (identifiers are not preserved)."""
+        if self.root is None:
+            return None
+
+        def dump(node: Node) -> NestedSpec:
+            return (node.label, node.value, [dump(child) for child in node.children])
+
+        return dump(self.root)
+
+    # ------------------------------------------------------------------
+    # Pretty-printing
+    # ------------------------------------------------------------------
+    def pretty(self, show_ids: bool = True, max_value_len: int = 40) -> str:
+        """Return an indented one-node-per-line rendering of the tree."""
+        if self.root is None:
+            return "<empty tree>"
+        lines: List[str] = []
+
+        def render(node: Node, indent: int) -> None:
+            parts = [node.label]
+            if show_ids:
+                parts.append(f"#{node.id}")
+            if node.value is not None:
+                text = str(node.value)
+                if len(text) > max_value_len:
+                    text = text[: max_value_len - 3] + "..."
+                parts.append(f"({text})")
+            lines.append("  " * indent + " ".join(parts))
+            for child in node.children:
+                render(child, indent + 1)
+
+        render(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tree(nodes={len(self._nodes)})"
+
+
+def _unpack_spec(spec: NestedSpec) -> Tuple[str, Any, Iterable[NestedSpec]]:
+    """Normalize the ``(label[, value[, children]])`` shorthand."""
+    if isinstance(spec, str):
+        return spec, None, ()
+    if not isinstance(spec, (tuple, list)) or not spec:
+        raise TreeError(f"bad tree spec: {spec!r}")
+    label = spec[0]
+    value = spec[1] if len(spec) >= 2 else None
+    children = spec[2] if len(spec) >= 3 else ()
+    # Allow ("P", [children]) — a value that is a list means children.
+    if isinstance(value, (list, tuple)) and len(spec) == 2:
+        children, value = value, None
+    return label, value, children
+
+
+def map_tree(tree: Tree, fn: Callable[[Node], Tuple[str, Any]]) -> Tree:
+    """Return a new tree where each node's (label, value) is ``fn(node)``.
+
+    Structure and identifiers are preserved; useful for normalization passes
+    (e.g. lower-casing sentence values before matching).
+    """
+    clone = tree.copy()
+    for node in clone.preorder():
+        node.label, node.value = fn(node)
+    return clone

@@ -1,0 +1,81 @@
+"""Delta-tree node annotations (paper Section 6).
+
+Each node of a delta tree carries exactly one annotation:
+
+* ``IDN`` — unchanged; corresponds to a node of the original tree.
+* ``UPD(v)`` — value updated to ``v`` (old value retained for display).
+* ``INS(l, v)`` — node inserted.
+* ``DEL`` — the subtree rooted here was deleted from the old tree.
+* ``MOV(x)`` — node moved here; ``x`` names the marker at the old position.
+* ``MRK`` — tombstone: the old position of a moved node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class Idn:
+    """Unchanged node."""
+
+    def tag(self) -> str:
+        return "IDN"
+
+
+@dataclass(frozen=True)
+class Upd:
+    """Value updated from ``old_value`` to the delta node's value."""
+
+    old_value: Any = None
+
+    def tag(self) -> str:
+        return "UPD"
+
+
+@dataclass(frozen=True)
+class Ins:
+    """Node inserted in the new version."""
+
+    def tag(self) -> str:
+        return "INS"
+
+
+@dataclass(frozen=True)
+class Del:
+    """Subtree deleted from the old version (shown as a tombstone)."""
+
+    def tag(self) -> str:
+        return "DEL"
+
+
+@dataclass(frozen=True)
+class Mov:
+    """Node moved to this position; ``marker`` names its old position.
+
+    ``updated`` records whether the move was combined with a value update
+    (the paper's mark-up shows both simultaneously, e.g. an italic sentence
+    with a "moved from S1" footnote). The pre-move value is kept for
+    renderers that display old content at the tombstone.
+    """
+
+    marker: str
+    updated: bool = False
+    old_value: Any = None
+
+    def tag(self) -> str:
+        return "MOV"
+
+
+@dataclass(frozen=True)
+class Mrk:
+    """Marker (tombstone) node at the source position of a move."""
+
+    marker: str
+
+    def tag(self) -> str:
+        return "MRK"
+
+
+Annotation = Union[Idn, Upd, Ins, Del, Mov, Mrk]

@@ -1,0 +1,172 @@
+"""Querying delta trees (paper §9 future work).
+
+"Designing and implementing query, browsing, and active rule languages for
+hierarchical data based on our edit scripts and delta trees [WU95]." This
+module provides the query side: path-pattern selection over delta trees
+with annotation and value filters, plus aggregate views of "what changed
+where".
+
+Path patterns are label sequences separated by ``/``:
+
+* a bare label matches that label (``Sec/P/S``);
+* ``*`` matches exactly one node of any label;
+* ``**`` matches any (possibly empty) sequence of nodes.
+
+Patterns are anchored at the delta-tree root; a leading ``**/`` makes a
+pattern match at any depth (``**/S`` = every sentence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .builder import DeltaNode, DeltaTree
+
+#: Optional user predicate applied after structural filters.
+NodePredicate = Callable[[DeltaNode], bool]
+
+
+@dataclass(frozen=True)
+class Match:
+    """One query hit: the node plus its label path from the root."""
+
+    node: DeltaNode
+    path: Tuple[str, ...]
+
+    @property
+    def pretty_path(self) -> str:
+        return "/".join(self.path)
+
+
+def select(
+    delta: DeltaTree,
+    path: Optional[str] = None,
+    tags: Optional[Sequence[str]] = None,
+    label: Optional[str] = None,
+    value_contains: Optional[str] = None,
+    predicate: Optional[NodePredicate] = None,
+) -> List[Match]:
+    """Select delta nodes by path pattern, annotation tags, and filters.
+
+    Parameters
+    ----------
+    path:
+        Path pattern (see module docstring); ``None`` matches everything.
+    tags:
+        Keep nodes whose annotation tag is in this set (e.g. ``["INS",
+        "UPD"]``); ``None`` keeps all tags.
+    label:
+        Keep nodes with this label.
+    value_contains:
+        Keep nodes whose (stringified) value contains this substring.
+    predicate:
+        Arbitrary final filter.
+    """
+    pattern = _parse_pattern(path) if path is not None else None
+    tag_set = set(tags) if tags is not None else None
+    hits: List[Match] = []
+    for node, node_path in _walk(delta.root, ()):
+        if pattern is not None and not _match_pattern(pattern, node_path):
+            continue
+        if tag_set is not None and node.tag not in tag_set:
+            continue
+        if label is not None and node.label != label:
+            continue
+        if value_contains is not None:
+            if node.value is None or value_contains not in str(node.value):
+                continue
+        if predicate is not None and not predicate(node):
+            continue
+        hits.append(Match(node=node, path=node_path))
+    return hits
+
+
+def changed_nodes(delta: DeltaTree) -> List[Match]:
+    """Every node that is not plain IDN, with its path."""
+    return select(delta, tags=["INS", "DEL", "UPD", "MOV", "MRK"])
+
+
+def changed_subtree_roots(delta: DeltaTree) -> List[DeltaNode]:
+    """The *maximal* changed nodes: changed nodes with no changed ancestor.
+
+    Nested changes collapse into their outermost carrier (the sentences of
+    a deleted paragraph are covered by the paragraph's ``DEL``), so the
+    result is the minimal set of anchors a browser needs to jump through to
+    see every change; document order is preserved.
+    """
+    roots: List[DeltaNode] = []
+
+    def visit(node: DeltaNode) -> None:
+        if node.tag != "IDN":
+            roots.append(node)
+            return  # everything below is covered by this change
+        for child in node.children:
+            visit(child)
+
+    visit(delta.root)
+    return roots
+
+
+def change_counts_by_path(
+    delta: DeltaTree, depth: int = 1
+) -> Dict[str, Dict[str, int]]:
+    """Aggregate change counts per ancestor path prefix of the given depth.
+
+    ``depth=1`` groups by top-level container (e.g. per section): the
+    "which sections changed" browsing view.
+    """
+    counts: Dict[str, Dict[str, int]] = {}
+    for node, path in _walk(delta.root, ()):
+        if node.tag == "IDN":
+            continue
+        prefix = "/".join(path[: depth + 1])  # include the root label
+        bucket = counts.setdefault(prefix, {})
+        bucket[node.tag] = bucket.get(node.tag, 0) + 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Pattern machinery
+# ---------------------------------------------------------------------------
+def _walk(
+    node: DeltaNode, prefix: Tuple[str, ...]
+) -> Iterator[Tuple[DeltaNode, Tuple[str, ...]]]:
+    path = prefix + (node.label,)
+    yield node, path
+    for child in node.children:
+        yield from _walk(child, path)
+
+
+def _parse_pattern(pattern: str) -> List[str]:
+    segments = [seg for seg in pattern.split("/") if seg]
+    if not segments:
+        raise ValueError(f"empty path pattern: {pattern!r}")
+    return segments
+
+
+def _match_pattern(pattern: List[str], path: Tuple[str, ...]) -> bool:
+    """Glob-style matching of a label path against a pattern."""
+    return _match_from(pattern, 0, path, 0)
+
+
+def _match_from(
+    pattern: List[str], p: int, path: Tuple[str, ...], t: int
+) -> bool:
+    while p < len(pattern):
+        segment = pattern[p]
+        if segment == "**":
+            if p == len(pattern) - 1:
+                return True  # trailing ** matches the rest
+            # try to match the remaining pattern at every suffix
+            for skip in range(t, len(path) + 1):
+                if _match_from(pattern, p + 1, path, skip):
+                    return True
+            return False
+        if t >= len(path):
+            return False
+        if segment != "*" and segment != path[t]:
+            return False
+        p += 1
+        t += 1
+    return t == len(path)

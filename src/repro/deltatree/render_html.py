@@ -1,0 +1,146 @@
+"""HTML rendering of delta trees.
+
+The paper's introduction motivates web-page change tracking: "a paragraph
+that has moved could be marked with a tombstone in its old position and be
+highlighted in its new position." This renderer produces that view:
+
+* inserted text  — ``<ins>`` (typically rendered underlined/green),
+* deleted text   — ``<del>`` (struck through),
+* updated text   — ``<em class="upd">``,
+* moved text     — highlighted ``<span class="mov">`` with an anchor link
+  back to a ``<span class="mrk">`` tombstone at the old position.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List
+
+from .annotations import Del, Ins, Mov, Mrk, Upd
+from .builder import DeltaNode, DeltaTree
+
+HTML_STYLE = """\
+<style>
+ins { background: #dcfce7; text-decoration: none; }
+del { background: #fee2e2; }
+em.upd { background: #fef9c3; }
+span.mov { background: #dbeafe; }
+span.mrk { color: #9ca3af; font-size: smaller; }
+span.margin { float: right; color: #6b7280; font-size: smaller; }
+</style>
+"""
+
+_HEADING_TAGS = {"D": None, "Sec": "h2", "SubSec": "h3"}
+
+
+def render_html(delta: DeltaTree, full_document: bool = False) -> str:
+    """Render a delta tree as annotated HTML (body only by default)."""
+    lines: List[str] = []
+    _render_children(delta.root, lines, deleted=False)
+    body = "\n".join(lines) + "\n"
+    if full_document:
+        return (
+            "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+            + HTML_STYLE
+            + "</head><body>\n"
+            + body
+            + "</body></html>\n"
+        )
+    return body
+
+
+def _render_children(node: DeltaNode, lines: List[str], deleted: bool) -> None:
+    for child in node.children:
+        _render_node(child, lines, deleted)
+
+
+def _render_node(node: DeltaNode, lines: List[str], deleted: bool) -> None:
+    label = node.label
+    deleted = deleted or isinstance(node.annotation, Del)
+    if label in ("Sec", "SubSec"):
+        tag = _HEADING_TAGS[label]
+        note = _note(node, deleted)
+        title = html.escape(str(node.value)) if node.value is not None else ""
+        lines.append(f"<{tag}>{note}{title}</{tag}>")
+        _render_children(node, lines, deleted)
+    elif label == "P":
+        margin = _margin(node, deleted)
+        sentences = " ".join(
+            _sentence(child, deleted)
+            for child in node.children
+            if child.label == "S"
+        )
+        lines.append(f"<p>{margin}{sentences}</p>")
+        for child in node.children:
+            if child.label != "S":
+                _render_node(child, lines, deleted)
+    elif label == "list":
+        lines.append("<ul>")
+        _render_children(node, lines, deleted)
+        lines.append("</ul>")
+    elif label == "item":
+        margin = _margin(node, deleted)
+        sentences = " ".join(
+            _sentence(child, deleted)
+            for child in node.children
+            if child.label == "S"
+        )
+        lines.append(f"<li>{margin}{sentences}</li>")
+    elif label == "S":
+        lines.append(f"<p>{_sentence(node, deleted)}</p>")
+    else:
+        _render_children(node, lines, deleted)
+
+
+def _note(node: DeltaNode, deleted: bool) -> str:
+    annotation = node.annotation
+    if deleted:
+        return "(del) "
+    if isinstance(annotation, Ins):
+        return "(ins) "
+    if isinstance(annotation, Upd):
+        return "(upd) "
+    if isinstance(annotation, (Mov, Mrk)):
+        return "(mov) "
+    return ""
+
+
+def _margin(node: DeltaNode, deleted: bool) -> str:
+    annotation = node.annotation
+    noun = "paragraph" if node.label == "P" else "item"
+    if deleted:
+        return f'<span class="margin">deleted {noun}</span>'
+    if isinstance(annotation, Ins):
+        return f'<span class="margin">inserted {noun}</span>'
+    if isinstance(annotation, Upd):
+        return f'<span class="margin">updated {noun}</span>'
+    if isinstance(annotation, Mov):
+        return (
+            f'<span class="margin">moved {noun} '
+            f'(from <a href="#{annotation.marker}">here</a>)</span>'
+        )
+    if isinstance(annotation, Mrk):
+        return f'<span class="margin" id="{annotation.marker}">moved away</span>'
+    return ""
+
+
+def _sentence(node: DeltaNode, deleted: bool) -> str:
+    text = html.escape(str(node.value)) if node.value is not None else ""
+    annotation = node.annotation
+    if isinstance(annotation, Mrk):
+        return (
+            f'<span class="mrk" id="{annotation.marker}">[moved: {text}]</span>'
+        )
+    if deleted:
+        return f"<del>{text}</del>"
+    if isinstance(annotation, Mov):
+        inner = f'<em class="upd">{text}</em>' if annotation.updated else text
+        return (
+            f'<span class="mov">{inner}'
+            f'<sup><a href="#{annotation.marker}">moved</a></sup></span>'
+        )
+    if isinstance(annotation, Upd):
+        return f'<em class="upd">{text}</em>'
+    if isinstance(annotation, Ins):
+        return f"<ins>{text}</ins>"
+    return text

@@ -1,0 +1,225 @@
+r"""LaTeX mark-up of delta trees following the paper's Table 2 conventions.
+
+==============  =============  ============  ============  =====================
+Textual unit    Insert         Delete        Update        Move
+==============  =============  ============  ============  =====================
+Sentence        bold font      small font    italic font   footnote + label
+Paragraph       marginal note  marg. note    marg. note    marginal note + label
+Item            marginal note  marg. note    marg. note    marginal note + label
+Subsection      ``(ins)`` / ``(del)`` / ``(upd)`` / ``(mov)`` in the heading
+Section         ``(ins)`` / ``(del)`` / ``(upd)`` / ``(mov)`` in the heading
+==============  =============  ============  ============  =====================
+
+Moved units are shown twice: a small-font, labeled copy at the old position
+(the tombstone) and the real content at the new position referencing that
+label — e.g. a sentence gains ``\footnote{Moved from S1}`` while the
+tombstone reads ``S1:[...]``, exactly like Figure 16 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .annotations import Del, Ins, Mov, Mrk, Upd
+from .builder import DeltaNode, DeltaTree
+
+#: Labels treated as sentence-level (font changes).
+SENTENCE_LABELS = {"S"}
+#: Labels treated as block-level (marginal notes).
+BLOCK_LABELS = {"P", "item"}
+#: Labels annotated inside their headings.
+HEADING_LABELS = {"Sec": "section", "SubSec": "subsection"}
+
+LATEX_PREAMBLE = "\n".join(
+    [
+        r"\documentclass{article}",
+        r"\setlength{\marginparwidth}{1.2in}",
+        r"\begin{document}",
+        "",
+    ]
+)
+LATEX_POSTAMBLE = "\n" + r"\end{document}" + "\n"
+
+
+def render_latex(delta: DeltaTree, full_document: bool = False) -> str:
+    """Render a delta tree as marked-up LaTeX.
+
+    With ``full_document=True`` the output is a compilable standalone
+    document; otherwise only the body is returned.
+    """
+    renderer = _LatexRenderer(delta)
+    body = renderer.render()
+    if full_document:
+        return LATEX_PREAMBLE + body + LATEX_POSTAMBLE
+    return body
+
+
+class _LatexRenderer:
+    def __init__(self, delta: DeltaTree) -> None:
+        self.delta = delta
+        self.display_keys = _assign_display_keys(delta)
+        self.lines: List[str] = []
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        self._render_children(self.delta.root, deleted=False)
+        text = "\n".join(self.lines)
+        # Collapse runs of blank lines introduced by block handling.
+        while "\n\n\n" in text:
+            text = text.replace("\n\n\n", "\n\n")
+        return text.strip("\n") + "\n"
+
+    def _render_children(self, node: DeltaNode, deleted: bool) -> None:
+        for child in node.children:
+            self._render_node(child, deleted)
+
+    # ------------------------------------------------------------------
+    def _render_node(self, node: DeltaNode, deleted: bool) -> None:
+        label = node.label
+        if label in HEADING_LABELS:
+            self._render_heading(node, deleted)
+        elif label in BLOCK_LABELS:
+            self._render_block(node, deleted)
+        elif label == "list":
+            self._render_list(node, deleted)
+        elif label in SENTENCE_LABELS:
+            # A bare sentence directly under a section/document.
+            self.lines.append(self._sentence_markup(node, deleted))
+            self.lines.append("")
+        else:
+            # Unknown container (e.g. the document root in nested calls):
+            # recurse transparently.
+            self._render_children(node, deleted)
+
+    # ------------------------------------------------------------------
+    def _render_heading(self, node: DeltaNode, deleted: bool) -> None:
+        command = HEADING_LABELS[node.label]
+        title = _escape(str(node.value)) if node.value is not None else ""
+        note = self._heading_note(node, deleted)
+        heading = f"\\{command}{{{note}{title}}}"
+        self.lines.append(heading)
+        self.lines.append("")
+        self._render_children(node, deleted or isinstance(node.annotation, Del))
+
+    def _heading_note(self, node: DeltaNode, deleted: bool) -> str:
+        annotation = node.annotation
+        if deleted or isinstance(annotation, Del):
+            return "(del) "
+        if isinstance(annotation, Ins):
+            return "(ins) "
+        if isinstance(annotation, Upd):
+            return "(upd) "
+        if isinstance(annotation, Mov):
+            return "(mov) "
+        if isinstance(annotation, Mrk):
+            return "(mov) "
+        return ""
+
+    # ------------------------------------------------------------------
+    def _render_block(self, node: DeltaNode, deleted: bool) -> None:
+        annotation = node.annotation
+        noun = "para" if node.label == "P" else "item"
+        prefix = "\\item " if node.label == "item" else ""
+        if isinstance(annotation, Mrk):
+            key = self.display_keys[annotation.marker]
+            self.lines.append(f"{prefix}{key}:[{{\\small moved {noun}}}]")
+            self.lines.append("")
+            return
+        margin = ""
+        if deleted or isinstance(annotation, Del):
+            margin = f"\\marginpar{{Deleted {noun}}}"
+            deleted = True
+        elif isinstance(annotation, Ins):
+            margin = f"\\marginpar{{Inserted {noun}}}"
+        elif isinstance(annotation, Upd):
+            margin = f"\\marginpar{{Updated {noun}}}"
+        elif isinstance(annotation, Mov):
+            key = self.display_keys[annotation.marker]
+            margin = f"\\marginpar{{Moved from {key}}}"
+        sentences = [
+            self._sentence_markup(child, deleted)
+            for child in node.children
+            if child.label in SENTENCE_LABELS
+        ]
+        body = " ".join(s for s in sentences if s)
+        self.lines.append((prefix + margin + body).strip())
+        self.lines.append("")
+        # Non-sentence children (nested lists inside items, ...) follow.
+        for child in node.children:
+            if child.label not in SENTENCE_LABELS:
+                self._render_node(child, deleted)
+
+    def _render_list(self, node: DeltaNode, deleted: bool) -> None:
+        self.lines.append(r"\begin{itemize}")
+        self._render_children(node, deleted or isinstance(node.annotation, Del))
+        self.lines.append(r"\end{itemize}")
+        self.lines.append("")
+
+    # ------------------------------------------------------------------
+    def _sentence_markup(self, node: DeltaNode, deleted: bool) -> str:
+        text = _escape(str(node.value)) if node.value is not None else ""
+        annotation = node.annotation
+        if isinstance(annotation, Mrk):
+            key = self.display_keys[annotation.marker]
+            return f"{key}:[{{\\small {text}}}]"
+        if deleted or isinstance(annotation, Del):
+            return f"{{\\small {text}}}"
+        if isinstance(annotation, Mov):
+            key = self.display_keys[annotation.marker]
+            if annotation.updated:
+                text = f"\\textit{{{text}}}"
+            return f"{text}\\footnote{{Moved from {key}}}"
+        if isinstance(annotation, Upd):
+            return f"\\textit{{{text}}}"
+        if isinstance(annotation, Ins):
+            return f"\\textbf{{{text}}}"
+        return text
+
+
+def _assign_display_keys(delta: DeltaTree) -> Dict[str, str]:
+    """Re-key markers per textual unit: S1, S2, ... / P1, ... / L1, ...
+
+    The builder assigns opaque keys (M1, M2, ...); the paper's output labels
+    moved sentences S1.. and moved paragraphs P1.., numbered in document
+    order of their tombstones.
+    """
+    counters: Dict[str, int] = {}
+    keys: Dict[str, str] = {}
+    for node in delta.preorder():
+        if not isinstance(node.annotation, Mrk):
+            continue
+        if node.label in SENTENCE_LABELS:
+            family = "S"
+        elif node.label == "P":
+            family = "P"
+        elif node.label == "item":
+            family = "I"
+        else:
+            family = "X"
+        counters[family] = counters.get(family, 0) + 1
+        keys[node.annotation.marker] = f"{family}{counters[family]}"
+    # Moves whose tombstone was dropped (vanished parent) keep opaque keys.
+    for node in delta.preorder():
+        if isinstance(node.annotation, Mov):
+            keys.setdefault(node.annotation.marker, node.annotation.marker)
+    return keys
+
+
+def _escape(text: str) -> str:
+    """Escape LaTeX special characters in plain text."""
+    # Stash backslashes first so later escapes don't mangle them, and
+    # restore them last so their replacement's braces survive.
+    text = text.replace("\\", "\x00")
+    for old, new in [
+        ("&", r"\&"),
+        ("%", r"\%"),
+        ("$", r"\$"),
+        ("#", r"\#"),
+        ("_", r"\_"),
+        ("{", r"\{"),
+        ("}", r"\}"),
+        ("~", r"\textasciitilde{}"),
+        ("^", r"\textasciicircum{}"),
+    ]:
+        text = text.replace(old, new)
+    return text.replace("\x00", r"\textbackslash{}")

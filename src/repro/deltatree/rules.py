@@ -1,0 +1,128 @@
+"""Active rules over deltas (paper §9 future work, [WC95]).
+
+Active database systems react to changes with event-condition-action rules.
+The paper plans "active rule languages for hierarchical data based on our
+edit scripts and delta trees"; this module provides that layer: rules whose
+*event* is an annotation kind (insert/delete/update/move), whose *condition*
+is an arbitrary predicate over the delta node (with its path available), and
+whose *action* runs once per triggering node.
+
+Example::
+
+    engine = RuleEngine()
+    engine.add(Rule(
+        name="alert-on-deleted-section",
+        events=("DEL",),
+        condition=lambda m: m.node.label == "Sec",
+        action=lambda m: alerts.append(m.node.value),
+    ))
+    firings = engine.run(delta_tree)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .builder import DeltaTree
+from .query import Match, select
+
+#: Events a rule can subscribe to (delta-tree annotation tags).
+ALL_EVENTS = ("INS", "DEL", "UPD", "MOV", "MRK")
+
+Condition = Callable[[Match], bool]
+Action = Callable[[Match], None]
+
+
+@dataclass
+class Rule:
+    """An event-condition-action rule over delta trees.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in firing records and error messages.
+    events:
+        Annotation tags that trigger the rule (subset of
+        :data:`ALL_EVENTS`).
+    condition:
+        Optional predicate over the :class:`~repro.deltatree.query.Match`;
+        ``None`` means "always".
+    action:
+        Callback invoked once per triggering node; ``None`` makes the rule
+        detection-only (it still records firings).
+    path:
+        Optional path pattern restricting where in the tree the rule
+        applies (same syntax as :func:`repro.deltatree.query.select`).
+    """
+
+    name: str
+    events: Sequence[str] = ALL_EVENTS
+    condition: Optional[Condition] = None
+    action: Optional[Action] = None
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        bad = set(self.events) - set(ALL_EVENTS)
+        if bad:
+            raise ValueError(
+                f"rule {self.name!r} subscribes to unknown events {sorted(bad)}; "
+                f"valid events are {ALL_EVENTS}"
+            )
+
+
+@dataclass(frozen=True)
+class Firing:
+    """A record of one rule triggering on one delta node."""
+
+    rule: str
+    event: str
+    match: Match
+
+    @property
+    def path(self) -> str:
+        return self.match.pretty_path
+
+
+class RuleEngine:
+    """Evaluates a set of rules against delta trees."""
+
+    def __init__(self) -> None:
+        self._rules: List[Rule] = []
+
+    def add(self, rule: Rule) -> "RuleEngine":
+        """Register a rule; returns self for chaining."""
+        if any(existing.name == rule.name for existing in self._rules):
+            raise ValueError(f"duplicate rule name: {rule.name!r}")
+        self._rules.append(rule)
+        return self
+
+    def remove(self, name: str) -> None:
+        before = len(self._rules)
+        self._rules = [rule for rule in self._rules if rule.name != name]
+        if len(self._rules) == before:
+            raise KeyError(name)
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        return tuple(self._rules)
+
+    def run(self, delta: DeltaTree) -> List[Firing]:
+        """Evaluate every rule against *delta*; fire actions; return firings.
+
+        Rules fire in registration order; within a rule, nodes trigger in
+        document (preorder) order. Actions run immediately as their firing
+        is recorded, so an action can rely on earlier rules having fully
+        executed.
+        """
+        firings: List[Firing] = []
+        for rule in self._rules:
+            matches = select(delta, path=rule.path, tags=list(rule.events))
+            for match in matches:
+                if rule.condition is not None and not rule.condition(match):
+                    continue
+                firing = Firing(rule=rule.name, event=match.node.tag, match=match)
+                firings.append(firing)
+                if rule.action is not None:
+                    rule.action(match)
+        return firings

@@ -1,0 +1,78 @@
+"""Edit-script inversion: compute the script that undoes another.
+
+Given a script ``E`` with ``T1 --E--> T2``, produce ``E⁻¹`` with
+``T2 --E⁻¹--> T1``. Inversion enables backward navigation through version
+chains (the §1 version-management scenario: reconstruct *older*
+configurations from the current one plus stored deltas) and gives the test
+suite a strong round-trip invariant.
+
+Each operation inverts locally, but positions and deleted content depend on
+the tree state at application time, so inversion replays ``E`` against a
+copy of ``T1`` and reads the context it needs just before each step:
+
+=============  =======================================================
+forward op     inverse op
+=============  =======================================================
+INS(x,..)      DEL(x)
+DEL(x)         INS((x, l, v), parent, position)   (read before deleting)
+UPD(x, v')     UPD(x, v)                          (old value restored)
+MOV(x, p', k)  MOV(x, p, k0)                      (old parent/rank)
+=============  =======================================================
+
+The inverse operations are accumulated in reverse order.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.tree import Tree
+from .operations import Delete, EditOperation, Insert, Move, Update
+from .script import EditScript
+
+
+def invert_script(t1: Tree, script: EditScript) -> EditScript:
+    """Return the inverse of *script* relative to starting tree *t1*.
+
+    *t1* must be the tree the script applies to (it is not mutated). The
+    returned script, applied to ``script.apply_to(t1)``, reproduces a tree
+    isomorphic to *t1* — with identical node identifiers except that nodes
+    deleted and re-inserted keep their original ids.
+    """
+    work = t1.copy()
+    inverse: List[EditOperation] = []
+    for op in script:
+        if isinstance(op, Insert):
+            inverse.append(Delete(op.node_id))
+        elif isinstance(op, Delete):
+            node = work.get(op.node_id)
+            if node.parent is None:
+                raise ValueError(f"cannot invert deletion of root {op.node_id!r}")
+            inverse.append(
+                Insert(
+                    op.node_id,
+                    node.label,
+                    node.value,
+                    node.parent.id,
+                    node.child_index(),
+                )
+            )
+        elif isinstance(op, Update):
+            node = work.get(op.node_id)
+            inverse.append(Update(op.node_id, node.value, old_value=op.value))
+        elif isinstance(op, Move):
+            node = work.get(op.node_id)
+            if node.parent is None:
+                raise ValueError(f"cannot invert move of root {op.node_id!r}")
+            old_parent = node.parent
+            # The pre-move rank is the right restore position in every case:
+            # the undo move first detaches x from its post-move slot, and
+            # "siblings without x" is identical before and after the forward
+            # move, so re-inserting at the old rank reproduces the original
+            # order for intra- and inter-parent moves alike.
+            inverse.append(Move(op.node_id, old_parent.id, node.child_index()))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown operation: {op!r}")
+        op.apply(work)
+    inverse.reverse()
+    return EditScript(inverse)

@@ -1,0 +1,171 @@
+"""Edit-script normalization and composition.
+
+Scripts produced by Algorithm EditScript are already minimum-cost for their
+matching, but scripts from other sources — concatenated version-chain legs,
+hand-written patches, replayed logs — often contain redundancy. The
+normalizer removes it while provably preserving the script's effect:
+
+* **no-op updates** (``UPD(x, v)`` when ``x`` already has value ``v``);
+* **superseded updates** (two updates of the same node with no structural
+  op between them — the first value is never observable);
+* **transient nodes** (``INS`` of a node that is later deleted: the insert,
+  the delete, and every op on the node or inside its transient subtree go);
+* **self-moves** (a move that lands the node exactly where it already is)
+  and **superseded moves** (two moves of the same node with nothing
+  observable between them — only the last placement survives... which is
+  only safe when no op in between references positions under either parent;
+  the conservative rule implemented here requires literal adjacency).
+
+``concatenate`` composes version legs into one script (operation sequences
+compose by juxtaposition); pipe the result through :func:`normalize_script`
+to shrink it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from ..core.tree import Tree
+from .operations import Delete, EditOperation, Insert, Move, Update
+from .script import EditScript
+
+
+def concatenate(scripts: Iterable[EditScript]) -> EditScript:
+    """Compose scripts that apply in sequence into one script."""
+    combined = EditScript()
+    for script in scripts:
+        combined.extend(script)
+    return combined
+
+
+def normalize_script(t1: Tree, script: EditScript) -> EditScript:
+    """Return an equivalent script with redundant operations removed.
+
+    *t1* is the tree the script applies to (needed to detect no-op updates
+    and self-moves); it is not mutated. The result applied to ``t1`` yields
+    exactly the same tree as the input script (same node ids included).
+    """
+    ops: List[Optional[EditOperation]] = list(script)
+
+    _drop_transient_nodes(ops)
+    _drop_superseded_updates(ops)
+    _drop_adjacent_superseded_moves(ops)
+    _drop_noop_updates_and_self_moves(t1, ops)
+
+    return EditScript([op for op in ops if op is not None])
+
+
+# ---------------------------------------------------------------------------
+# Individual passes (each blanks redundant entries with None)
+# ---------------------------------------------------------------------------
+def _drop_transient_nodes(ops: List[Optional[EditOperation]]) -> None:
+    """Remove INSERTed nodes that are later DELETEd, plus their ops.
+
+    Safe because a deleted node is a leaf at deletion time, so nothing else
+    can live under it when it dies; any ops between insert and delete that
+    target the node itself (updates, moves) are unobservable afterwards.
+    Inserts *under* a transient node must become transient too — they can
+    only be deleted before it (leaf rule), so the fixpoint loop catches
+    them on a later iteration.
+    """
+    while True:
+        inserted_at = {}
+        transient: Set = set()
+        for index, op in enumerate(ops):
+            if op is None:
+                continue
+            if isinstance(op, Insert):
+                inserted_at[op.node_id] = index
+            elif isinstance(op, Delete) and op.node_id in inserted_at:
+                transient.add(op.node_id)
+        # Conservative guard: a transient node used as the *target parent*
+        # of a surviving insert/move cannot be dropped — the visitor ops
+        # would dangle and sibling positions could shift. (Such ops being
+        # themselves transient is fine; they vanish together.)
+        changed = True
+        while changed:
+            changed = False
+            for op in ops:
+                if op is None:
+                    continue
+                parent_id = getattr(op, "parent_id", None)
+                node_id = getattr(op, "node_id", None)
+                if parent_id in transient and node_id not in transient:
+                    transient.discard(parent_id)
+                    changed = True
+        if not transient:
+            return
+        for index, op in enumerate(ops):
+            if op is None:
+                continue
+            if getattr(op, "node_id", None) in transient:
+                ops[index] = None
+
+
+def _drop_superseded_updates(ops: List[Optional[EditOperation]]) -> None:
+    """Keep only the last of consecutive updates to the same node.
+
+    Two updates of one node with no delete of it in between: the earlier
+    value is never observable (updates don't affect structure), so the
+    earlier op can go regardless of what else sits between them.
+    """
+    last_update_at = {}
+    for index, op in enumerate(ops):
+        if op is None:
+            continue
+        if isinstance(op, Update):
+            previous = last_update_at.get(op.node_id)
+            if previous is not None:
+                # carry the original old_value forward for cost accounting
+                earlier = ops[previous]
+                ops[previous] = None
+                ops[index] = Update(
+                    op.node_id, op.value, old_value=earlier.old_value
+                )
+            last_update_at[op.node_id] = index
+        elif isinstance(op, Delete) and op.node_id in last_update_at:
+            del last_update_at[op.node_id]
+
+
+def _drop_adjacent_superseded_moves(ops: List[Optional[EditOperation]]) -> None:
+    """Collapse back-to-back moves of the same node into the final one."""
+    previous_index = None
+    for index, op in enumerate(ops):
+        if op is None:
+            continue
+        if isinstance(op, Move):
+            if (
+                previous_index is not None
+                and isinstance(ops[previous_index], Move)
+                and ops[previous_index].node_id == op.node_id
+            ):
+                ops[previous_index] = None
+            previous_index = index
+        else:
+            previous_index = None
+
+
+def _drop_noop_updates_and_self_moves(
+    t1: Tree, ops: List[Optional[EditOperation]]
+) -> None:
+    """Replay to find updates/moves that change nothing at apply time."""
+    work = t1.copy()
+    for index, op in enumerate(ops):
+        if op is None:
+            continue
+        if isinstance(op, Update):
+            node = work.get(op.node_id)
+            if node.value == op.value:
+                ops[index] = None
+                continue
+        elif isinstance(op, Move):
+            node = work.get(op.node_id)
+            parent = node.parent
+            if (
+                parent is not None
+                and parent.id == op.parent_id
+                and node.child_index() == op.position
+            ):
+                ops[index] = None
+                continue
+        op.apply(work)

@@ -1,0 +1,169 @@
+"""Change detection for graph-structured data (paper §9 future work).
+
+"Generalizing our algorithms to detect changes in data that can be
+represented as graphs but not necessarily trees."
+
+This module implements the natural reduction: an ordered, rooted graph
+(sharing and cycles allowed) is encoded as an ordered tree by DFS — the
+first visit of a node materializes it, and every later edge to an
+already-visited node becomes a ``__ref__`` leaf carrying a value-based
+signature of its target. Two encodings are then diffed with the standard
+pipeline, so node insertions/deletions/updates/moves *and* edge
+rewirings (as ref-leaf inserts/deletes) are all captured in one edit
+script.
+
+Like the paper's algorithms, matching is value-based: node identifiers are
+never compared across versions, and reference signatures are built from
+target labels/values so shared structure matches even when ids differ.
+
+Limitations (inherent to the reduction, documented here): nodes unreachable
+from the root are invisible, and a node's "home position" is its first DFS
+visit — if the first incoming edge changes, the encoding shows a move plus
+reference churn rather than a single edge flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .core.errors import ReproError
+from .core.tree import Tree
+from .diff import DiffResult, tree_diff
+from .matching.criteria import MatchConfig
+
+REF_LABEL = "__ref__"
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs (unknown ids, missing root, ...)."""
+
+
+@dataclass
+class Graph:
+    """An ordered, rooted, labeled graph.
+
+    ``nodes`` maps node id -> (label, value); ``edges`` maps node id -> the
+    ordered list of successor ids; ``root`` is the DFS entry point. Ids are
+    local to one graph version and carry no cross-version meaning.
+    """
+
+    root: Any
+    nodes: Dict[Any, Tuple[str, Any]] = field(default_factory=dict)
+    edges: Dict[Any, List[Any]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: Any, label: str, value: Any = None) -> None:
+        if node_id in self.nodes:
+            raise GraphError(f"duplicate graph node id {node_id!r}")
+        self.nodes[node_id] = (label, value)
+        self.edges.setdefault(node_id, [])
+
+    def add_edge(self, source: Any, target: Any, position: Optional[int] = None) -> None:
+        for node_id in (source, target):
+            if node_id not in self.nodes:
+                raise GraphError(f"unknown graph node id {node_id!r}")
+        successors = self.edges.setdefault(source, [])
+        if position is None:
+            successors.append(target)
+        else:
+            successors.insert(position, target)
+
+    def validate(self) -> None:
+        if self.root not in self.nodes:
+            raise GraphError(f"root {self.root!r} is not a graph node")
+        for source, targets in self.edges.items():
+            if source not in self.nodes:
+                raise GraphError(f"edge source {source!r} is not a node")
+            for target in targets:
+                if target not in self.nodes:
+                    raise GraphError(f"edge target {target!r} is not a node")
+
+    def reachable(self) -> List[Any]:
+        """Node ids reachable from the root, in DFS first-visit order."""
+        seen: Dict[Any, None] = {}
+        stack = [self.root]
+        order: List[Any] = []
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen[current] = None
+            order.append(current)
+            stack.extend(reversed(self.edges.get(current, ())))
+        return order
+
+
+def encode_graph(graph: Graph) -> Tree:
+    """Encode a graph as an ordered tree with ``__ref__`` leaves.
+
+    DFS from the root in successor order: the first visit of each node
+    creates a tree node; every subsequent edge into it creates a
+    ``__ref__`` leaf whose value is the target's signature.
+    """
+    graph.validate()
+    tree = Tree()
+    visited: Dict[Any, None] = {}
+
+    def signature(node_id: Any) -> str:
+        label, value = graph.nodes[node_id]
+        return f"{label}={value!r}" if value is not None else label
+
+    def visit(node_id: Any, parent) -> None:
+        label, value = graph.nodes[node_id]
+        visited[node_id] = None
+        tree_node = tree.create_node(label, value, parent=parent)
+        for target in graph.edges.get(node_id, ()):
+            if target in visited:
+                tree.create_node(REF_LABEL, signature(target), parent=tree_node)
+            else:
+                visit(target, tree_node)
+
+    visit(graph.root, None)
+    return tree
+
+
+@dataclass
+class GraphDiffResult:
+    """Diff of two graphs via their tree encodings."""
+
+    old_tree: Tree
+    new_tree: Tree
+    diff: DiffResult
+
+    @property
+    def script(self):
+        return self.diff.script
+
+    def verify(self) -> bool:
+        return self.diff.verify(self.old_tree, self.new_tree)
+
+    def edge_changes(self) -> Dict[str, int]:
+        """Reference churn: inserted/deleted ``__ref__`` leaves.
+
+        These correspond to non-spanning-tree edges appearing or vanishing;
+        spanning edges show up as node moves/inserts/deletes instead.
+        """
+        inserted = sum(
+            1 for op in self.script.inserts if op.label == REF_LABEL
+        )
+        deleted = 0
+        for op in self.script.deletes:
+            node = self.old_tree.get(op.node_id) if op.node_id in self.old_tree else None
+            if node is not None and node.label == REF_LABEL:
+                deleted += 1
+        return {"ref_inserted": inserted, "ref_deleted": deleted}
+
+
+def graph_diff(
+    old: Graph,
+    new: Graph,
+    config: Optional[MatchConfig] = None,
+) -> GraphDiffResult:
+    """Detect changes between two graph versions (value-based matching)."""
+    old_tree = encode_graph(old)
+    new_tree = encode_graph(new)
+    result = tree_diff(old_tree, new_tree, config=config)
+    return GraphDiffResult(old_tree=old_tree, new_tree=new_tree, diff=result)

@@ -1,0 +1,147 @@
+"""HTML parsing into document trees.
+
+The paper's future-work section plans "extending [LaDiff] to HTML and SGML
+documents"; this module provides that extension for HTML. The element
+mapping mirrors the LaTeX subset:
+
+* ``<h1>``/``<h2>``  -> ``Sec``  (heading text as value)
+* ``<h3>``-``<h6>``  -> ``SubSec``
+* ``<p>``            -> ``P``
+* ``<ul>``/``<ol>``/``<dl>`` -> ``list`` (merged label, as for LaTeX lists)
+* ``<li>``/``<dd>``  -> ``item``
+* text               -> ``S`` sentences
+
+Unknown elements are transparent: their text participates in the enclosing
+block, so arbitrary real-world pages degrade gracefully instead of failing.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+from typing import List, Optional
+
+from ..core.node import Node
+from ..core.tree import Tree
+from .latex_parser import split_sentences
+
+_SECTION_TAGS = {"h1": "Sec", "h2": "Sec", "h3": "SubSec", "h4": "SubSec",
+                 "h5": "SubSec", "h6": "SubSec"}
+_LIST_TAGS = {"ul", "ol", "dl"}
+_ITEM_TAGS = {"li", "dd", "dt"}
+_SKIP_TAGS = {"script", "style", "head", "title"}
+
+
+def parse_html(source: str) -> Tree:
+    """Parse an HTML document into a D/Sec/SubSec/P/list/item/S tree."""
+    builder = _TreeBuilder()
+    builder.feed(source)
+    builder.close()
+    return builder.finish()
+
+
+class _TreeBuilder(HTMLParser):
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.tree = Tree()
+        self.document = self.tree.create_node("D", None)
+        self.containers: List[Node] = [self.document]
+        self.text_parts: List[str] = []
+        self.heading: Optional[str] = None  # label while inside <h*>
+        self.heading_parts: List[str] = []
+        self.skip_depth = 0
+
+    # ------------------------------------------------------------------
+    def handle_starttag(self, tag: str, attrs) -> None:
+        if tag in _SKIP_TAGS:
+            self.skip_depth += 1
+            return
+        if self.skip_depth:
+            return
+        if tag in _SECTION_TAGS:
+            self._flush_paragraph()
+            self.heading = _SECTION_TAGS[tag]
+            self.heading_parts = []
+        elif tag in _LIST_TAGS:
+            self._flush_paragraph()
+            node = self.tree.create_node("list", None, parent=self.containers[-1])
+            self.containers.append(node)
+        elif tag in _ITEM_TAGS:
+            self._flush_paragraph()
+            self._pop_until({"list"})
+            node = self.tree.create_node("item", None, parent=self.containers[-1])
+            self.containers.append(node)
+        elif tag == "p" or tag == "br":
+            self._flush_paragraph()
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag in _SKIP_TAGS:
+            self.skip_depth = max(0, self.skip_depth - 1)
+            return
+        if self.skip_depth:
+            return
+        if tag in _SECTION_TAGS and self.heading is not None:
+            label = self.heading
+            title = " ".join(" ".join(self.heading_parts).split()) or None
+            self.heading = None
+            self.heading_parts = []
+            self._open_section(label, title)
+        elif tag in _LIST_TAGS:
+            self._flush_paragraph()
+            self._pop_until({"list"})
+            if self.containers[-1].label == "list":
+                self.containers.pop()
+        elif tag in _ITEM_TAGS:
+            self._flush_paragraph()
+            if self.containers[-1].label == "item":
+                self.containers.pop()
+        elif tag == "p":
+            self._flush_paragraph()
+
+    def handle_data(self, data: str) -> None:
+        if self.skip_depth:
+            return
+        if self.heading is not None:
+            self.heading_parts.append(data)
+        elif data.strip():
+            self.text_parts.append(data)
+
+    # ------------------------------------------------------------------
+    def _open_section(self, label: str, title: Optional[str]) -> None:
+        if label == "Sec":
+            self.containers = [self.document]
+            parent = self.document
+        else:
+            while self.containers[-1].label not in ("Sec", "D"):
+                self.containers.pop()
+            parent = self.containers[-1]
+        node = self.tree.create_node(label, title, parent=parent)
+        self.containers.append(node)
+
+    def _pop_until(self, labels: set) -> None:
+        while (
+            len(self.containers) > 1
+            and self.containers[-1].label not in labels
+            and self.containers[-1].label in ("item",)
+        ):
+            self.containers.pop()
+
+    def _flush_paragraph(self) -> None:
+        if not self.text_parts:
+            return
+        text = " ".join(" ".join(self.text_parts).split())
+        self.text_parts = []
+        sentences = split_sentences(text)
+        if not sentences:
+            return
+        parent = self.containers[-1]
+        if parent.label == "item":
+            for sentence in sentences:
+                self.tree.create_node("S", sentence, parent=parent)
+            return
+        paragraph = self.tree.create_node("P", None, parent=parent)
+        for sentence in sentences:
+            self.tree.create_node("S", sentence, parent=paragraph)
+
+    def finish(self) -> Tree:
+        self._flush_paragraph()
+        return self.tree

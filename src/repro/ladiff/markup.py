@@ -1,0 +1,66 @@
+"""The LaDiff mark-up conventions (paper Table 2), as data.
+
+Keeping the conventions as a queryable table lets tests and the Table 2
+benchmark verify that the renderers actually implement them, and gives
+documentation a single source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: (textual unit, operation) -> human description of the LaTeX mark-up.
+MARKUP_CONVENTIONS: Dict[Tuple[str, str], str] = {
+    ("Sentence", "Insert"): "Bold font",
+    ("Sentence", "Delete"): "Small font",
+    ("Sentence", "Update"): "Italic font",
+    ("Sentence", "Move"): "Footnote, label",
+    ("Paragraph", "Insert"): "Marginal note",
+    ("Paragraph", "Delete"): "Marginal note",
+    ("Paragraph", "Update"): "Marginal note",
+    ("Paragraph", "Move"): "Marginal note, label",
+    ("Item", "Insert"): "Marginal note",
+    ("Item", "Delete"): "Marginal note",
+    ("Item", "Update"): "Marginal note",
+    ("Item", "Move"): "Marginal note, label",
+    ("Subsection", "Insert"): "Annotation (ins) in heading",
+    ("Subsection", "Delete"): "Annotation (del) in heading",
+    ("Subsection", "Update"): "Annotation (upd) in heading",
+    ("Subsection", "Move"): "Annotation (mov) in heading",
+    ("Section", "Insert"): "Annotation (ins) in heading",
+    ("Section", "Delete"): "Annotation (del) in heading",
+    ("Section", "Update"): "Annotation (upd) in heading",
+    ("Section", "Move"): "Annotation (mov) in heading",
+}
+
+#: Tree label -> Table 2 textual unit name.
+LABEL_TO_UNIT: Dict[str, str] = {
+    "S": "Sentence",
+    "P": "Paragraph",
+    "item": "Item",
+    "SubSec": "Subsection",
+    "Sec": "Section",
+}
+
+#: LaTeX snippets the renderer is expected to emit for each (label, op).
+EXPECTED_LATEX_MARKERS: Dict[Tuple[str, str], str] = {
+    ("S", "INS"): r"\textbf{",
+    ("S", "DEL"): r"{\small ",
+    ("S", "UPD"): r"\textit{",
+    ("S", "MOV"): r"\footnote{Moved from ",
+    ("P", "INS"): r"\marginpar{Inserted para}",
+    ("P", "DEL"): r"\marginpar{Deleted para}",
+    ("P", "UPD"): r"\marginpar{Updated para}",
+    ("P", "MOV"): r"\marginpar{Moved from ",
+    ("item", "INS"): r"\marginpar{Inserted item}",
+    ("item", "DEL"): r"\marginpar{Deleted item}",
+    ("item", "MOV"): r"\marginpar{Moved from ",
+    ("Sec", "INS"): "(ins)",
+    ("Sec", "DEL"): "(del)",
+    ("Sec", "UPD"): "(upd)",
+    ("Sec", "MOV"): "(mov)",
+    ("SubSec", "INS"): "(ins)",
+    ("SubSec", "DEL"): "(del)",
+    ("SubSec", "UPD"): "(upd)",
+    ("SubSec", "MOV"): "(mov)",
+}

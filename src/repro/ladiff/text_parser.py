@@ -1,0 +1,56 @@
+"""Plain-text parsing into document trees.
+
+The simplest front end: blank-line separated paragraphs of sentences under a
+single document root (labels ``D`` / ``P`` / ``S``). Useful both as a LaDiff
+input format and as the flat-diff baseline's structured counterpart.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.tree import Tree
+from .latex_parser import split_sentences
+
+
+def parse_text(source: str) -> Tree:
+    """Parse plain text: paragraphs split on blank lines, then sentences."""
+    tree = Tree()
+    document = tree.create_node("D", None)
+    for block in _paragraph_blocks(source):
+        sentences = split_sentences(block)
+        if not sentences:
+            continue
+        paragraph = tree.create_node("P", None, parent=document)
+        for sentence in sentences:
+            tree.create_node("S", sentence, parent=paragraph)
+    return tree
+
+
+def write_text(tree: Tree) -> str:
+    """Render a D/P/S tree back to plain text (one blank line per break)."""
+    paragraphs: List[str] = []
+    if tree.root is None:
+        return ""
+    for node in tree.root.children:
+        if node.label == "P":
+            paragraphs.append(
+                " ".join(str(c.value) for c in node.children if c.label == "S")
+            )
+        elif node.label == "S":
+            paragraphs.append(str(node.value))
+    return "\n\n".join(paragraphs) + ("\n" if paragraphs else "")
+
+
+def _paragraph_blocks(source: str) -> List[str]:
+    blocks: List[str] = []
+    current: List[str] = []
+    for line in source.split("\n"):
+        if line.strip():
+            current.append(line.strip())
+        elif current:
+            blocks.append(" ".join(current))
+            current = []
+    if current:
+        blocks.append(" ".join(current))
+    return blocks

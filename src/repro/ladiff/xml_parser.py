@@ -1,0 +1,101 @@
+"""XML parsing into label-value trees (the SGML plan of paper §9).
+
+The paper closes with "extending [LaDiff] to HTML and SGML documents"; this
+is the SGML-descendant (XML) front end, and the encoding that descendants
+of this paper (xmldiff, DaisyDiff, GumTree) use in practice:
+
+* an element becomes a node labeled with its tag;
+* each attribute becomes a child node labeled ``@<name>`` whose value is
+  the attribute value (attributes sort by name so attribute order — which
+  XML deems insignificant — cannot masquerade as a change);
+* text content becomes ``#text`` leaves, split out around child elements
+  (i.e. mixed content is preserved in document order).
+
+The inverse, :func:`write_xml`, serializes a tree in this encoding back to
+XML; ``parse -> write -> parse`` is the identity on the supported subset
+(attribute order normalized, whitespace-only text dropped).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+from xml.sax.saxutils import escape, quoteattr
+
+from ..core.errors import ParseError
+from ..core.node import Node
+from ..core.tree import Tree
+
+ATTRIBUTE_PREFIX = "@"
+TEXT_LABEL = "#text"
+
+
+def parse_xml(source: str) -> Tree:
+    """Parse an XML document into a label-value tree."""
+    try:
+        root_element = ET.fromstring(source)
+    except ET.ParseError as exc:
+        raise ParseError(f"invalid XML: {exc}") from None
+    tree = Tree()
+
+    def build(element: ET.Element, parent: Optional[Node]) -> None:
+        node = tree.create_node(element.tag, None, parent=parent)
+        for name in sorted(element.attrib):
+            tree.create_node(
+                ATTRIBUTE_PREFIX + name, element.attrib[name], parent=node
+            )
+        if element.text and element.text.strip():
+            tree.create_node(TEXT_LABEL, element.text.strip(), parent=node)
+        for child in element:
+            build(child, node)
+            if child.tail and child.tail.strip():
+                tree.create_node(TEXT_LABEL, child.tail.strip(), parent=node)
+
+    build(root_element, None)
+    return tree
+
+
+def write_xml(tree: Tree, indent: int = 2) -> str:
+    """Serialize a tree in the XML encoding back to XML text."""
+    if tree.root is None:
+        return ""
+    lines = []
+    _write_element(tree.root, lines, 0, indent)
+    return "\n".join(lines) + "\n"
+
+
+def _write_element(node: Node, lines, depth: int, indent: int) -> None:
+    if node.label.startswith(ATTRIBUTE_PREFIX) or node.label == TEXT_LABEL:
+        raise ParseError(
+            f"node {node.label!r} is not an element; attribute and text "
+            f"nodes may only appear under an element"
+        )
+    pad = " " * (depth * indent)
+    attributes = [
+        child
+        for child in node.children
+        if child.label.startswith(ATTRIBUTE_PREFIX)
+    ]
+    content = [
+        child
+        for child in node.children
+        if not child.label.startswith(ATTRIBUTE_PREFIX)
+    ]
+    attr_text = "".join(
+        f" {child.label[len(ATTRIBUTE_PREFIX):]}={quoteattr(str(child.value))}"
+        for child in attributes
+    )
+    if not content:
+        lines.append(f"{pad}<{node.label}{attr_text}/>")
+        return
+    if len(content) == 1 and content[0].label == TEXT_LABEL:
+        text = escape(str(content[0].value))
+        lines.append(f"{pad}<{node.label}{attr_text}>{text}</{node.label}>")
+        return
+    lines.append(f"{pad}<{node.label}{attr_text}>")
+    for child in content:
+        if child.label == TEXT_LABEL:
+            lines.append(f"{pad}{' ' * indent}{escape(str(child.value))}")
+        else:
+            _write_element(child, lines, depth + 1, indent)
+    lines.append(f"{pad}</{node.label}>")

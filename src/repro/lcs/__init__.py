@@ -1,0 +1,23 @@
+"""Longest-common-subsequence algorithms with pluggable equality."""
+
+from .dp import dp_lcs, dp_lcs_indices, dp_lcs_length
+from .myers import (
+    lcs_length,
+    myers_lcs,
+    myers_lcs_indices,
+    shortest_edit_distance,
+)
+from .sequences import OpCode, diff_opcodes, unified_hunks
+
+__all__ = [
+    "OpCode",
+    "diff_opcodes",
+    "dp_lcs",
+    "dp_lcs_indices",
+    "dp_lcs_length",
+    "lcs_length",
+    "myers_lcs",
+    "myers_lcs_indices",
+    "shortest_edit_distance",
+    "unified_hunks",
+]

@@ -1,0 +1,106 @@
+"""Sequence diff opcodes built on top of the LCS routines.
+
+This is the flat-file view of change detection that Section 2 contrasts with
+the tree algorithms: given two sequences, produce *equal*, *delete*, and
+*insert* runs (exactly what GNU diff reports for lines). The flat-diff
+baseline (:mod:`repro.baselines.flat_diff`) uses these opcodes.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+from .myers import myers_lcs_indices
+
+S = TypeVar("S")
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class OpCode:
+    """A diff run: ``tag`` is ``"equal"``, ``"delete"`` or ``"insert"``.
+
+    ``i1:i2`` is the half-open range in the first sequence, ``j1:j2`` in the
+    second. For ``delete`` runs ``j1 == j2``; for ``insert`` runs
+    ``i1 == i2``.
+    """
+
+    tag: str
+    i1: int
+    i2: int
+    j1: int
+    j2: int
+
+
+def diff_opcodes(
+    s1: Sequence[S],
+    s2: Sequence[T],
+    equal: Callable[[S, T], bool] = operator.eq,
+) -> List[OpCode]:
+    """Return the diff between two sequences as a list of opcodes."""
+    matches = myers_lcs_indices(s1, s2, equal)
+    ops: List[OpCode] = []
+    i = j = 0
+
+    def flush_gap(next_i: int, next_j: int) -> None:
+        if i < next_i:
+            ops.append(OpCode("delete", i, next_i, j, j))
+        if j < next_j:
+            ops.append(OpCode("insert", next_i, next_i, j, next_j))
+
+    runs = _match_runs(matches)
+    for (mi, mj, length) in runs:
+        flush_gap(mi, mj)
+        ops.append(OpCode("equal", mi, mi + length, mj, mj + length))
+        i, j = mi + length, mj + length
+    # Trailing gap after the last match run.
+    if i < len(s1):
+        ops.append(OpCode("delete", i, len(s1), j, j))
+    if j < len(s2):
+        ops.append(OpCode("insert", len(s1), len(s1), j, len(s2)))
+    return ops
+
+
+def _match_runs(matches: List[Tuple[int, int]]) -> List[Tuple[int, int, int]]:
+    """Group adjacent (i, j) match pairs into (i, j, length) runs."""
+    runs: List[Tuple[int, int, int]] = []
+    for (i, j) in matches:
+        if runs and runs[-1][0] + runs[-1][2] == i and runs[-1][1] + runs[-1][2] == j:
+            start_i, start_j, length = runs[-1]
+            runs[-1] = (start_i, start_j, length + 1)
+        else:
+            runs.append((i, j, 1))
+    return runs
+
+
+def unified_hunks(
+    s1: Sequence[str],
+    s2: Sequence[str],
+    context: int = 3,
+) -> List[str]:
+    """Render a unified-diff-style listing (for the flat-diff baseline).
+
+    Returns the body lines (no file headers); ``-`` marks deletions from
+    *s1*, ``+`` marks insertions from *s2*, and context lines are prefixed
+    with a space.
+    """
+    ops = diff_opcodes(s1, s2)
+    lines: List[str] = []
+    for op in ops:
+        if op.tag == "equal":
+            segment = list(s1[op.i1 : op.i2])
+            if len(segment) > 2 * context and context >= 0:
+                head = segment[:context]
+                tail = segment[-context:] if context else []
+                lines.extend(" " + line for line in head)
+                lines.append(f"@@ {op.i2 - op.i1 - len(head) - len(tail)} unchanged lines @@")
+                lines.extend(" " + line for line in tail)
+            else:
+                lines.extend(" " + line for line in segment)
+        elif op.tag == "delete":
+            lines.extend("-" + line for line in s1[op.i1 : op.i2])
+        else:
+            lines.extend("+" + line for line in s2[op.j1 : op.j2])
+    return lines

@@ -1,0 +1,269 @@
+"""Matching criteria 1-3 and the equality predicates they induce (Section 5).
+
+* **Criterion 1** (leaves): ``(x, y)`` may match only if labels agree and
+  ``compare(v(x), v(y)) <= f`` for a parameter ``0 <= f <= 1``.
+* **Criterion 2** (internal nodes): labels agree and
+  ``|common(x, y)| / max(|x|, |y|) > t`` for ``1/2 <= t <= 1``, where
+  ``common`` counts matched leaf pairs contained in both subtrees.
+* **Criterion 3** (domain property): every leaf of one tree is "close"
+  (``compare <= 1``) to at most one leaf of the other. When it holds — and
+  labels are acyclic — the maximal matching is unique (Theorem 5.2) and
+  FastMatch is optimal; :func:`criterion3_violations` measures how badly a
+  given input breaks it (used by the Table 1 analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..compare.generic import CompareRegistry
+from ..core.node import Node
+from ..core.tree import Tree
+from .matching import Matching
+
+#: Node-level comparator: distance in [0, 2] between two nodes' values.
+NodeCompare = Callable[[Node, Node], float]
+
+
+@dataclass
+class MatchingStats:
+    """Instrumentation counters for the §8 performance study.
+
+    ``leaf_compares`` is the paper's ``r1`` (invocations of ``compare``);
+    ``partner_checks`` is ``r2`` (cheap integer comparisons performed while
+    evaluating Criterion 2 on internal nodes).
+    """
+
+    leaf_compares: int = 0
+    partner_checks: int = 0
+    lcs_calls: int = 0
+
+    def combined(self, c: float = 1.0) -> float:
+        """Weighted total ``r1 * c + r2`` from the paper's cost formula."""
+        return self.leaf_compares * c + self.partner_checks
+
+
+@dataclass
+class MatchConfig:
+    """Parameters of the Good Matching problem.
+
+    Attributes
+    ----------
+    f:
+        Leaf distance threshold of Criterion 1 (``0 <= f <= 1``).
+    t:
+        Internal-node containment threshold of Criterion 2
+        (``1/2 <= t <= 1``). This is LaDiff's "match threshold" parameter.
+    registry:
+        Comparator registry that realizes ``compare``; defaults to word-LCS
+        for strings.
+    match_empty_internals:
+        Criterion 2's ratio is 0/0 for internal nodes without leaf
+        descendants; when True (default) two such nodes may match if their
+        labels agree.
+    always_match_roots:
+        When True (default), two same-labeled roots that survived the main
+        pass unmatched are paired anyway. Document roots represent "the
+        document" regardless of content overlap; without this, heavily
+        edited small documents degrade to a full delete/re-insert (the
+        paper's dummy-root wrap handles correctness but yields much larger
+        scripts). Extension over the paper's criteria.
+    """
+
+    f: float = 0.6
+    t: float = 0.5
+    registry: CompareRegistry = field(default_factory=CompareRegistry)
+    match_empty_internals: bool = True
+    always_match_roots: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.f <= 1.0:
+            raise ValueError(f"f must be in [0, 1], got {self.f}")
+        if not 0.5 <= self.t <= 1.0:
+            raise ValueError(f"t must be in [1/2, 1], got {self.t}")
+
+    def compare_nodes(self, x: Node, y: Node) -> float:
+        """``compare`` on two nodes' values, routed by the first label."""
+        return self.registry.compare(x.value, y.value, x.label)
+
+
+class CriteriaContext:
+    """Shared per-run state: leaf counts, containment tests, counters."""
+
+    def __init__(
+        self,
+        t1: Tree,
+        t2: Tree,
+        config: Optional[MatchConfig] = None,
+        stats: Optional[MatchingStats] = None,
+    ) -> None:
+        self.t1 = t1
+        self.t2 = t2
+        self.config = config if config is not None else MatchConfig()
+        self.stats = stats if stats is not None else MatchingStats()
+        self._leaf_counts: Dict[Any, int] = {}
+        self._precompute_leaf_counts(t1)
+        self._precompute_leaf_counts(t2)
+
+    def _precompute_leaf_counts(self, tree: Tree) -> None:
+        # Postorder accumulation: one pass, no per-node subtree walks.
+        for node in tree.postorder():
+            if node.is_leaf:
+                self._leaf_counts[id(node)] = 1
+            else:
+                self._leaf_counts[id(node)] = sum(
+                    self._leaf_counts[id(child)] for child in node.children
+                )
+
+    def leaf_count(self, node: Node) -> int:
+        """``|x|``: number of leaves contained in *node*'s subtree."""
+        count = self._leaf_counts.get(id(node))
+        if count is None:  # node created after context construction
+            count = node.leaf_count()
+            self._leaf_counts[id(node)] = count
+        return count
+
+    # ------------------------------------------------------------------
+    # Criterion 1
+    # ------------------------------------------------------------------
+    def leaves_equal(self, x: Node, y: Node) -> bool:
+        """The paper's ``equal`` for leaves (Section 5.2)."""
+        if x.label != y.label:
+            return False
+        self.stats.leaf_compares += 1
+        return self.config.compare_nodes(x, y) <= self.config.f
+
+    # ------------------------------------------------------------------
+    # Criterion 2
+    # ------------------------------------------------------------------
+    def common_count(self, x: Node, y: Node, matching: Matching) -> int:
+        """``|common(x, y)|``: matched leaf pairs contained in both subtrees.
+
+        Implemented by walking the leaves of ``x`` and checking whether each
+        partner lies under ``y``; every containment test counts as one
+        partner check (the paper's ``r2``).
+        """
+        count = 0
+        for leaf in x.leaves():
+            partner_id = matching.partner1(leaf.id)
+            self.stats.partner_checks += 1
+            if partner_id is None:
+                continue
+            partner = self.t2.get(partner_id)
+            if _is_under(partner, y):
+                count += 1
+        return count
+
+    def internals_equal(self, x: Node, y: Node, matching: Matching) -> bool:
+        """The paper's ``equal`` for internal nodes (Section 5.2).
+
+        ``|x|`` counts the leaves an internal node *contains*; a childless
+        internal node (e.g. an emptied paragraph) contains none, so such
+        pairs fall back to the ``match_empty_internals`` policy.
+        """
+        if x.label != y.label:
+            return False
+        size_x = 0 if x.is_leaf else self.leaf_count(x)
+        size_y = 0 if y.is_leaf else self.leaf_count(y)
+        biggest = max(size_x, size_y)
+        if biggest == 0:
+            return self.config.match_empty_internals
+        common = self.common_count(x, y, matching)
+        return common / biggest > self.config.t
+
+    def nodes_equal(self, x: Node, y: Node, matching: Matching) -> bool:
+        """Dispatch to the leaf or internal predicate by node kind."""
+        if x.is_leaf and y.is_leaf:
+            return self.leaves_equal(x, y)
+        if x.is_leaf or y.is_leaf:
+            # A leaf and an internal node never match: Criterion 1 cannot be
+            # evaluated on an interior node's (typically null) value and
+            # Criterion 2 needs two subtrees.
+            return False
+        return self.internals_equal(x, y, matching)
+
+
+def apply_root_policy(t1: Tree, t2: Tree, matching: Matching, config: MatchConfig) -> None:
+    """Pair unmatched same-label roots when the config asks for it."""
+    if not config.always_match_roots:
+        return
+    if t1.root is None or t2.root is None:
+        return
+    if matching.has1(t1.root.id) or matching.has2(t2.root.id):
+        return
+    if t1.root.label == t2.root.label:
+        matching.add(t1.root.id, t2.root.id)
+
+
+def _is_under(node: Node, ancestor: Node) -> bool:
+    """True when *ancestor* is a proper ancestor of *node*."""
+    current = node.parent
+    while current is not None:
+        if current is ancestor:
+            return True
+        current = current.parent
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Criterion 3 diagnostics
+# ---------------------------------------------------------------------------
+def criterion3_violations(
+    t1: Tree,
+    t2: Tree,
+    config: Optional[MatchConfig] = None,
+) -> List[Tuple[Node, List[Node]]]:
+    """Return leaves with more than one "close" counterpart.
+
+    For each leaf ``x`` of ``t1``, collect the leaves ``y`` of ``t2`` with
+    the same label and ``compare(v(x), v(y)) <= 1``; pairs with two or more
+    candidates violate Matching Criterion 3. (The symmetric direction is
+    obtained by swapping arguments.) Quadratic — intended for analysis and
+    tests, not for the matching hot path.
+    """
+    config = config if config is not None else MatchConfig()
+    leaves2_by_label: Dict[str, List[Node]] = {}
+    for leaf in t2.leaves():
+        leaves2_by_label.setdefault(leaf.label, []).append(leaf)
+    violations: List[Tuple[Node, List[Node]]] = []
+    for x in t1.leaves():
+        close = [
+            y
+            for y in leaves2_by_label.get(x.label, ())
+            if config.compare_nodes(x, y) <= 1.0
+        ]
+        if len(close) > 1:
+            violations.append((x, close))
+    return violations
+
+
+def criterion3_holds(
+    t1: Tree,
+    t2: Tree,
+    config: Optional[MatchConfig] = None,
+) -> bool:
+    """True when Matching Criterion 3 holds in both directions."""
+    return not criterion3_violations(t1, t2, config) and not criterion3_violations(
+        t2, t1, config
+    )
+
+
+def matching_satisfies_criteria(
+    matching: Matching,
+    t1: Tree,
+    t2: Tree,
+    config: Optional[MatchConfig] = None,
+) -> bool:
+    """Validate that every pair of *matching* satisfies Criteria 1 and 2."""
+    context = CriteriaContext(t1, t2, config)
+    for x_id, y_id in matching.pairs():
+        x, y = t1.get(x_id), t2.get(y_id)
+        if x.is_leaf and y.is_leaf:
+            if not context.leaves_equal(x, y):
+                return False
+        elif x.is_leaf or y.is_leaf:
+            return False
+        elif not context.internals_equal(x, y, matching):
+            return False
+    return True

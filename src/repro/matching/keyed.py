@@ -1,0 +1,79 @@
+"""Key-based matching: the trivial case the paper sets aside (Section 5).
+
+"If the information we are comparing does have unique identifiers, then our
+algorithms can take advantage of them to quickly match fragments." This
+module provides that fast path: nodes carrying equal keys (per a caller-
+supplied key function) are matched directly in one linear pass, and any
+keyless remainder can be handed to FastMatch via ``match_remainder``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..core.errors import MatchingError
+from ..core.node import Node
+from ..core.tree import Tree
+from .criteria import MatchConfig
+from .fastmatch import fast_match
+from .matching import Matching
+
+#: Extracts a matching key from a node; ``None`` means "keyless node".
+KeyFn = Callable[[Node], Optional[Any]]
+
+
+def match_by_keys(
+    t1: Tree,
+    t2: Tree,
+    key_fn: KeyFn,
+    require_same_label: bool = True,
+) -> Matching:
+    """Match nodes whose keys are equal (and labels, unless disabled).
+
+    Keys must be unique within each tree among keyed nodes; duplicates raise
+    :class:`MatchingError` since a key that is not a key cannot anchor a
+    one-to-one matching.
+    """
+    index2: Dict[Any, Node] = {}
+    for node in t2.preorder():
+        key = key_fn(node)
+        if key is None:
+            continue
+        if key in index2:
+            raise MatchingError(f"duplicate key {key!r} in new tree")
+        index2[key] = node
+    matching = Matching()
+    seen1: Dict[Any, Node] = {}
+    for node in t1.preorder():
+        key = key_fn(node)
+        if key is None:
+            continue
+        if key in seen1:
+            raise MatchingError(f"duplicate key {key!r} in old tree")
+        seen1[key] = node
+        partner = index2.get(key)
+        if partner is None:
+            continue
+        if require_same_label and node.label != partner.label:
+            continue
+        matching.add(node.id, partner.id)
+    return matching
+
+
+def match_with_keys_then_values(
+    t1: Tree,
+    t2: Tree,
+    key_fn: KeyFn,
+    config: Optional[MatchConfig] = None,
+) -> Matching:
+    """Hybrid matcher: keys first, FastMatch for the keyless remainder.
+
+    The key-derived pairs are fixed; FastMatch then runs normally and its
+    proposals are merged for nodes both sides of which are still unmatched.
+    """
+    matching = match_by_keys(t1, t2, key_fn)
+    proposed = fast_match(t1, t2, config)
+    for x_id, y_id in proposed.pairs():
+        if not matching.has1(x_id) and not matching.has2(y_id):
+            matching.add(x_id, y_id)
+    return matching

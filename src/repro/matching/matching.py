@@ -1,0 +1,112 @@
+"""One-to-one node matchings between two trees (Section 3.1).
+
+A matching pairs node identifiers of the old tree ``T1`` with node
+identifiers of the new tree ``T2``. Matchings are *partial* (not every node
+participates) until the edit-script generator extends them to *total*
+matchings. The class enforces the one-to-one property eagerly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
+
+from ..core.errors import MatchingError
+
+
+class Matching:
+    """A one-to-one partial matching between two node-id spaces."""
+
+    def __init__(self, pairs: Optional[Iterable[Tuple[Any, Any]]] = None) -> None:
+        self._forward: Dict[Any, Any] = {}  # T1 id -> T2 id
+        self._backward: Dict[Any, Any] = {}  # T2 id -> T1 id
+        if pairs:
+            for x, y in pairs:
+                self.add(x, y)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, x: Any, y: Any) -> None:
+        """Match T1 node *x* with T2 node *y*.
+
+        Raises :class:`MatchingError` when either side is already matched to
+        a different node (re-adding the same pair is a no-op).
+        """
+        existing_y = self._forward.get(x)
+        existing_x = self._backward.get(y)
+        if existing_y is not None or existing_x is not None:
+            if existing_y == y and existing_x == x:
+                return
+            raise MatchingError(
+                f"cannot match ({x!r}, {y!r}): "
+                f"{x!r} is matched to {existing_y!r} and "
+                f"{y!r} is matched to {existing_x!r}"
+            )
+        self._forward[x] = y
+        self._backward[y] = x
+
+    def remove(self, x: Any, y: Any) -> None:
+        """Remove the pair (x, y); raises if it is not present."""
+        if self._forward.get(x) != y:
+            raise MatchingError(f"pair ({x!r}, {y!r}) not in matching")
+        del self._forward[x]
+        del self._backward[y]
+
+    def replace(self, x: Any, y: Any) -> None:
+        """Match *x* with *y*, unmatching whatever they were paired with."""
+        old_y = self._forward.pop(x, None)
+        if old_y is not None:
+            del self._backward[old_y]
+        old_x = self._backward.pop(y, None)
+        if old_x is not None:
+            del self._forward[old_x]
+        self._forward[x] = y
+        self._backward[y] = x
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def partner1(self, x: Any) -> Optional[Any]:
+        """Partner in T2 of T1 node *x*, or ``None`` if unmatched."""
+        return self._forward.get(x)
+
+    def partner2(self, y: Any) -> Optional[Any]:
+        """Partner in T1 of T2 node *y*, or ``None`` if unmatched."""
+        return self._backward.get(y)
+
+    def has1(self, x: Any) -> bool:
+        """True when T1 node *x* participates in the matching."""
+        return x in self._forward
+
+    def has2(self, y: Any) -> bool:
+        """True when T2 node *y* participates in the matching."""
+        return y in self._backward
+
+    def contains(self, x: Any, y: Any) -> bool:
+        """True when the specific pair (x, y) is in the matching."""
+        return self._forward.get(x) == y
+
+    def __contains__(self, pair: Tuple[Any, Any]) -> bool:
+        x, y = pair
+        return self.contains(x, y)
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def pairs(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate over (T1 id, T2 id) pairs in insertion order."""
+        return iter(self._forward.items())
+
+    def copy(self) -> "Matching":
+        clone = Matching()
+        clone._forward = dict(self._forward)
+        clone._backward = dict(self._backward)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matching):
+            return NotImplemented
+        return self._forward == other._forward
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Matching({len(self)} pairs)"

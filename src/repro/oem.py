@@ -1,0 +1,202 @@
+"""Diffing semi-structured (OEM/JSON-like) data.
+
+The paper's label-value tree model is borrowed from OEM, the Object
+Exchange Model of [PGMW95] ("We have found this label-value model to be
+useful for semi-structured data in general"). This module provides the
+bridge: lossless, order-preserving conversion between nested Python data
+(dicts, lists, scalars — i.e. parsed JSON) and :class:`~repro.core.Tree`,
+so JSON documents can be diffed, annotated, and patched with the paper's
+machinery.
+
+Encoding
+--------
+* a dict becomes an ``object`` node whose children are ``member:<key>``
+  nodes (one per entry, insertion order preserved) wrapping the value;
+* a list becomes an ``array`` node whose children are the encoded items
+  (order is significant, as in ordered trees);
+* a scalar becomes a ``scalar`` leaf whose value is the scalar (type
+  preserved for str/int/float/bool/None via a type tag in the value).
+
+Because member keys live in the *label*, the matching criteria line up
+naturally: Criterion 1's "same label" means "same key", and two objects
+match when enough of their members match (Criterion 2) — no schema needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .core.errors import ReproError
+from .core.node import Node
+from .core.tree import Tree
+from .diff import DiffResult, tree_diff
+from .matching.criteria import MatchConfig
+
+LABEL_OBJECT = "object"
+LABEL_ARRAY = "array"
+LABEL_SCALAR = "scalar"
+MEMBER_PREFIX = "member:"
+
+
+class OemError(ReproError):
+    """Raised when data cannot be encoded or decoded."""
+
+
+def data_to_tree(data: Any) -> Tree:
+    """Encode nested dict/list/scalar data as a label-value tree."""
+    tree = Tree()
+    _encode(data, tree, None)
+    return tree
+
+
+def _encode(data: Any, tree: Tree, parent: Optional[Node]) -> None:
+    if isinstance(data, dict):
+        node = tree.create_node(LABEL_OBJECT, None, parent=parent)
+        for key, value in data.items():
+            if not isinstance(key, str):
+                raise OemError(f"object keys must be strings, got {key!r}")
+            member = tree.create_node(MEMBER_PREFIX + key, None, parent=node)
+            _encode(value, tree, member)
+    elif isinstance(data, (list, tuple)):
+        node = tree.create_node(LABEL_ARRAY, None, parent=parent)
+        for item in data:
+            _encode(item, tree, node)
+    else:
+        if not (data is None or isinstance(data, (str, int, float, bool))):
+            raise OemError(
+                f"unsupported scalar type {type(data).__name__}; "
+                f"encode it to str/int/float/bool/None first"
+            )
+        tree.create_node(LABEL_SCALAR, _tag_scalar(data), parent=parent)
+
+
+def tree_to_data(tree: Tree) -> Any:
+    """Inverse of :func:`data_to_tree`."""
+    if tree.root is None:
+        raise OemError("cannot decode an empty tree")
+    return _decode(tree.root)
+
+
+def _decode(node: Node) -> Any:
+    if node.label == LABEL_OBJECT:
+        out = {}
+        for member in node.children:
+            if not member.label.startswith(MEMBER_PREFIX):
+                raise OemError(
+                    f"object child has non-member label {member.label!r}"
+                )
+            if len(member.children) != 1:
+                raise OemError(
+                    f"member {member.label!r} must wrap exactly one value"
+                )
+            out[member.label[len(MEMBER_PREFIX):]] = _decode(member.children[0])
+        return out
+    if node.label == LABEL_ARRAY:
+        return [_decode(child) for child in node.children]
+    if node.label == LABEL_SCALAR:
+        return _untag_scalar(node.value)
+    raise OemError(f"unknown OEM label {node.label!r}")
+
+
+def _tag_scalar(value: Any) -> str:
+    """Scalars carry a type tag so 1, 1.0, True, "1", and None stay distinct.
+
+    The tag doubles as the node *value* used by ``compare``: strings keep
+    word-level similarity (useful for prose fields), other types compare
+    exactly.
+    """
+    if value is None:
+        return "null:"
+    if isinstance(value, bool):  # bool before int: bool is an int subclass
+        return f"bool:{value}"
+    if isinstance(value, int):
+        return f"int:{value}"
+    if isinstance(value, float):
+        return f"float:{value!r}"
+    return f"str:{value}"
+
+
+def _untag_scalar(tagged: Any) -> Any:
+    if not isinstance(tagged, str) or ":" not in tagged:
+        raise OemError(f"malformed scalar tag {tagged!r}")
+    kind, _, body = tagged.partition(":")
+    if kind == "null":
+        return None
+    if kind == "bool":
+        return body == "True"
+    if kind == "int":
+        return int(body)
+    if kind == "float":
+        return float(body)
+    if kind == "str":
+        return body
+    raise OemError(f"unknown scalar tag {kind!r}")
+
+
+def _scalar_compare(a: Any, b: Any) -> float:
+    """Distance between two *tagged* scalars, computed on decoded values.
+
+    Same-type scalars compare by their natural notion of closeness (word
+    LCS for strings, relative distance for numbers); different types are
+    maximally distant, preserving the 1-vs-"1" distinction.
+    """
+    from .compare.generic import default_compare
+
+    try:
+        va, vb = _untag_scalar(a), _untag_scalar(b)
+    except OemError:
+        return 0.0 if a == b else 2.0
+    if type(va) is not type(vb):
+        return 0.0 if va == vb else 2.0  # 1 == 1.0 is fine; 1 != "1"
+    return default_compare(va, vb)
+
+
+def oem_match_config(f: float = 0.6, t: float = 0.5) -> MatchConfig:
+    """A :class:`MatchConfig` tuned for OEM-encoded data.
+
+    Scalar leaves compare on their decoded values (so ``price: 10 -> 12``
+    becomes a cheap update rather than a delete/insert pair), while the
+    structural thresholds keep their document defaults.
+    """
+    config = MatchConfig(f=f, t=t)
+    config.registry.register(LABEL_SCALAR, _scalar_compare)
+    return config
+
+
+def json_diff(
+    old: Any,
+    new: Any,
+    config: Optional[MatchConfig] = None,
+) -> "JsonDiffResult":
+    """Diff two nested data values; return the script plus both trees.
+
+    Uses :func:`oem_match_config` when *config* is omitted.
+    """
+    old_tree = data_to_tree(old)
+    new_tree = data_to_tree(new)
+    config = config if config is not None else oem_match_config()
+    result = tree_diff(old_tree, new_tree, config=config)
+    return JsonDiffResult(old_tree=old_tree, new_tree=new_tree, diff=result)
+
+
+class JsonDiffResult:
+    """Result of :func:`json_diff` with patch/verify conveniences."""
+
+    def __init__(self, old_tree: Tree, new_tree: Tree, diff: DiffResult) -> None:
+        self.old_tree = old_tree
+        self.new_tree = new_tree
+        self.diff = diff
+
+    @property
+    def script(self):
+        return self.diff.script
+
+    def verify(self) -> bool:
+        """True when the script transforms the old encoding into the new."""
+        return self.diff.verify(self.old_tree, self.new_tree)
+
+    def patch(self, data: Any) -> Any:
+        """Apply the delta to a data value equal to the old one."""
+        tree = data_to_tree(data)
+        patched = self.diff.edit.replay(tree)
+        return tree_to_data(patched)

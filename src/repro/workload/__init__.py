@@ -1,0 +1,37 @@
+"""Workload generation: random trees, synthetic documents, mutations."""
+
+from .corpus import (
+    DocumentSet,
+    DocumentVersion,
+    make_document_set,
+    paper_document_sets,
+)
+from .documents import VOCABULARY, DocumentGenerator, DocumentSpec, generate_document
+from .mutations import MutatedTree, MutationEngine, MutationMix, MutationRecord
+from .random_trees import (
+    RandomTreeSpec,
+    perfect_tree,
+    random_flat_tree,
+    random_sentence,
+    random_tree,
+)
+
+__all__ = [
+    "DocumentGenerator",
+    "DocumentSet",
+    "DocumentSpec",
+    "DocumentVersion",
+    "MutatedTree",
+    "MutationEngine",
+    "MutationMix",
+    "MutationRecord",
+    "RandomTreeSpec",
+    "VOCABULARY",
+    "generate_document",
+    "make_document_set",
+    "paper_document_sets",
+    "perfect_tree",
+    "random_flat_tree",
+    "random_sentence",
+    "random_tree",
+]

@@ -1,0 +1,121 @@
+"""Version-set corpora mirroring the paper's experimental data (§8).
+
+The paper evaluates on "three sets of files[, each representing] different
+versions of a document (a conference paper)" and runs FastMatch "on pairs of
+files within each of these three sets". A :class:`DocumentSet` is one such
+set: a base synthetic document plus versions derived by increasing numbers
+of random edits, with the ground-truth mutation records retained.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.tree import Tree
+from .documents import DocumentGenerator, DocumentSpec
+from .mutations import MutatedTree, MutationEngine, MutationMix
+
+
+@dataclass
+class DocumentVersion:
+    """One version in a set: the tree and how it differs from the base."""
+
+    tree: Tree
+    edits_from_base: int
+    record_true_d: int
+    record_true_e: float
+
+
+@dataclass
+class DocumentSet:
+    """A base document and derived versions (versions[0] is the base)."""
+
+    name: str
+    versions: List[DocumentVersion] = field(default_factory=list)
+
+    def pairs(self) -> Iterator[Tuple[DocumentVersion, DocumentVersion]]:
+        """All ordered (older, newer) version pairs, as the paper compares."""
+        for i in range(len(self.versions)):
+            for j in range(i + 1, len(self.versions)):
+                yield self.versions[i], self.versions[j]
+
+    def consecutive_pairs(
+        self,
+    ) -> Iterator[Tuple[DocumentVersion, DocumentVersion]]:
+        for older, newer in zip(self.versions, self.versions[1:]):
+            yield older, newer
+
+
+def make_document_set(
+    name: str,
+    seed: int,
+    spec: Optional[DocumentSpec] = None,
+    edit_counts: Tuple[int, ...] = (0, 5, 10, 20, 40),
+    mix: Optional[MutationMix] = None,
+) -> DocumentSet:
+    """Build one version set.
+
+    Each version is derived from the *base* with the given number of edits
+    (the paper's versions also share a common ancestor), so edit size grows
+    across the set while content stays correlated.
+    """
+    generator = DocumentGenerator(seed)
+    base = generator.document(spec)
+    versions: List[DocumentVersion] = []
+    for round_index, edits in enumerate(edit_counts):
+        if edits == 0:
+            versions.append(
+                DocumentVersion(
+                    tree=base, edits_from_base=0, record_true_d=0, record_true_e=0.0
+                )
+            )
+            continue
+        engine = MutationEngine(
+            random.Random(seed * 1000 + round_index), mix=mix
+        )
+        mutated: MutatedTree = engine.mutate(base, edits)
+        versions.append(
+            DocumentVersion(
+                tree=mutated.tree,
+                edits_from_base=edits,
+                record_true_d=mutated.record.true_d,
+                record_true_e=mutated.record.true_e,
+            )
+        )
+    return DocumentSet(name=name, versions=versions)
+
+
+def paper_document_sets(
+    edit_counts: Tuple[int, ...] = (0, 4, 8, 16, 32),
+) -> List[DocumentSet]:
+    """The three version sets used by the Figure 13 / Table 1 benchmarks.
+
+    Three differently sized "conference papers" (small / medium / large), as
+    the paper's sets were; sizes differ so the n-sensitivity of e/d can be
+    observed (the paper notes it is low).
+    """
+    return [
+        make_document_set(
+            "set-A (small)",
+            seed=11,
+            spec=DocumentSpec(sections=4, paragraphs_per_section=5,
+                              sentences_per_paragraph=4),
+            edit_counts=edit_counts,
+        ),
+        make_document_set(
+            "set-B (medium)",
+            seed=23,
+            spec=DocumentSpec(sections=6, paragraphs_per_section=6,
+                              sentences_per_paragraph=5),
+            edit_counts=edit_counts,
+        ),
+        make_document_set(
+            "set-C (large)",
+            seed=47,
+            spec=DocumentSpec(sections=8, paragraphs_per_section=8,
+                              sentences_per_paragraph=6),
+            edit_counts=edit_counts,
+        ),
+    ]

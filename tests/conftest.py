@@ -1,0 +1,74 @@
+"""Shared fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.tree import Tree
+
+
+@pytest.fixture
+def figure1_trees():
+    """The paper's running example (Figure 1): T1 and T2.
+
+    T1:  D(P(S a, S b), P(S c), P(S d, S e, S f))
+    T2:  D(P(S a), P(S d, S e, S f, S g), P(S c))
+    """
+    t1 = Tree.from_obj(
+        ("D", None, [
+            ("P", None, [("S", "a"), ("S", "b")]),
+            ("P", None, [("S", "c")]),
+            ("P", None, [("S", "d"), ("S", "e"), ("S", "f")]),
+        ])
+    )
+    t2 = Tree.from_obj(
+        ("D", None, [
+            ("P", None, [("S", "a")]),
+            ("P", None, [("S", "d"), ("S", "e"), ("S", "f"), ("S", "g")]),
+            ("P", None, [("S", "c")]),
+        ])
+    )
+    return t1, t2
+
+
+@pytest.fixture
+def example31_tree():
+    """The initial tree of the paper's Example 3.1 (Figure 3 shape).
+
+    A document with three sections; section 2 has two sentences that the
+    example moves under a newly inserted section.
+    """
+    return Tree.from_obj(
+        ("D", None, [
+            ("Sec", "s1", [("S", "one")]),
+            ("Sec", "s2", [("S", "a"), ("S", "b")]),
+            ("Sec", "s3", [("S", "baz old")]),
+        ])
+    )
+
+
+def build_tree(spec) -> Tree:
+    """Shorthand used across test modules."""
+    return Tree.from_obj(spec)
+
+
+def random_document_tree(seed: int, depth: int = 3, fanout: int = 4) -> Tree:
+    """A small random document-shaped tree with unique sentence values."""
+    rng = random.Random(seed)
+    tree = Tree()
+    root = tree.create_node("D", None)
+    counter = [0]
+
+    def grow(parent, level):
+        for _ in range(rng.randint(1, fanout)):
+            if level >= depth or rng.random() < 0.4:
+                counter[0] += 1
+                tree.create_node("S", f"sentence {counter[0]} seed {seed}", parent=parent)
+            else:
+                node = tree.create_node("P", None, parent=parent)
+                grow(node, level + 1)
+
+    grow(root, 1)
+    return tree

@@ -1,0 +1,179 @@
+"""Tests for analysis: (d, e) metrics, analytical bounds, Table 1 estimator."""
+
+import pytest
+
+from repro.analysis import (
+    EditDistances,
+    ambiguous_leaves,
+    editscript_bound,
+    fastmatch_bound,
+    match_bound,
+    mismatch_upper_bound,
+    result_distances,
+    script_distances,
+    tree_pair_sizes,
+)
+from repro.core import Tree
+from repro.diff import tree_diff
+from repro.editscript import Delete, EditScript, Insert, Move, Update
+from repro.matching import MatchConfig
+from repro.workload import DocumentSpec, MutationEngine, generate_document
+
+
+class TestScriptDistances:
+    def test_insert_delete_unit_weights(self):
+        t1 = Tree.from_obj(("D", None, [("S", "a"), ("S", "b")]))
+        script = EditScript([Insert(10, "S", "x", 1, 1), Delete(2)])
+        distances = script_distances(t1, script)
+        assert distances.unweighted == 2
+        assert distances.weighted == 2.0
+
+    def test_update_weighs_zero(self):
+        t1 = Tree.from_obj(("D", None, [("S", "a")]))
+        script = EditScript([Update(2, "b", old_value="a")])
+        distances = script_distances(t1, script)
+        assert distances.unweighted == 1
+        assert distances.weighted == 0.0
+
+    def test_move_weighs_subtree_leaf_count(self):
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "a"), ("S", "b"), ("S", "c")]),
+                ("P", None, []),
+            ])
+        )
+        script = EditScript([Move(2, 6, 1)])  # P(a b c) under the empty P
+        distances = script_distances(t1, script)
+        assert distances.unweighted == 1
+        assert distances.weighted == 3.0  # |x| = 3 leaves moved
+        assert distances.move_weight == 3.0
+
+    def test_move_weight_measured_at_move_time(self):
+        """A leaf inserted into the subtree before the move increases |x|."""
+        t1 = Tree.from_obj(
+            ("D", None, [("P", None, [("S", "a")]), ("P", None, [])])
+        )
+        script = EditScript([Insert(10, "S", "x", 2, 2), Move(2, 4, 1)])
+        distances = script_distances(t1, script)
+        assert distances.weighted == pytest.approx(1.0 + 2.0)
+
+    def test_ratio(self):
+        assert EditDistances(4, 8.0, 0, 0, 8.0).ratio == 2.0
+        assert EditDistances(0, 0.0, 0, 0, 0).ratio == 0.0
+
+    def test_result_distances_handles_wrapping(self):
+        t1 = Tree.from_obj(("A", None, [("S", "x")]))
+        t2 = Tree.from_obj(("B", None, [("S", "x")]))
+        from repro.matching import Matching
+        from repro.editscript import generate_edit_script
+        result = generate_edit_script(t1, t2, Matching([(2, 2)]))
+        assert result.wrapped
+        distances = result_distances(t1, result)
+        assert distances.unweighted == len(result.script)
+
+
+class TestBounds:
+    def test_tree_pair_sizes(self):
+        t1 = Tree.from_obj(("D", None, [("P", None, [("S", "a")])]))
+        t2 = Tree.from_obj(("D", None, [("P", None, [("S", "a"), ("S", "b")])]))
+        sizes = tree_pair_sizes(t1, t2)
+        assert sizes.leaves == 3
+        assert sizes.internals == 4
+        assert sizes.internal_labels == 2  # D and P
+
+    def test_match_bound_formula(self):
+        sizes = tree_pair_sizes(
+            Tree.from_obj(("D", None, [("S", "a")])),
+            Tree.from_obj(("D", None, [("S", "b")])),
+        )
+        # n=2, m=2: n^2 c + m n = 4c + 4
+        assert match_bound(sizes, c=2.0) == 4 * 2.0 + 4
+
+    def test_fastmatch_bound_formula(self):
+        sizes = tree_pair_sizes(
+            Tree.from_obj(("D", None, [("S", "a")])),
+            Tree.from_obj(("D", None, [("S", "b")])),
+        )
+        # n=2, l=1, e=3: (ne + e^2) c + 2lne = (6 + 9)c + 12
+        assert fastmatch_bound(sizes, e=3.0, c=1.0) == 15 + 12
+
+    def test_fastmatch_below_match_for_small_e(self):
+        doc = generate_document(3, DocumentSpec(sections=8))
+        sizes = tree_pair_sizes(doc, doc.copy())
+        assert fastmatch_bound(sizes, e=5.0) < match_bound(sizes)
+
+    def test_editscript_bound_nonzero_for_identical(self):
+        assert editscript_bound(10, 0) == 10.0
+        assert editscript_bound(10, 3) == 40.0
+
+
+class TestMeasuredVersusBound:
+    def test_fastmatch_measured_below_bound(self):
+        """The paper's key empirical claim (§8): the analytical bound is
+        loose — measured comparisons land far below it."""
+        from repro.matching import MatchingStats, fast_match
+        base = generate_document(17, DocumentSpec(sections=6))
+        edited = MutationEngine(18).mutate(base, 10).tree
+        stats = MatchingStats()
+        matching = fast_match(base, edited, MatchConfig(), stats=stats)
+        from repro.editscript import generate_edit_script
+        result = generate_edit_script(base, edited, matching)
+        distances = result_distances(base, result)
+        sizes = tree_pair_sizes(base, edited)
+        bound = fastmatch_bound(sizes, distances.weighted)
+        measured = stats.leaf_compares + stats.partner_checks
+        assert measured < bound
+        assert bound / max(measured, 1) > 3  # comfortably loose
+
+
+class TestMismatchEstimator:
+    def make_pair_with_duplicates(self):
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "dup dup dup"), ("S", "unique alpha beta")]),
+                ("P", None, [("S", "clean gamma delta"), ("S", "clean eps zeta")]),
+            ])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "dup dup dup"), ("S", "unique alpha beta")]),
+                ("P", None, [("S", "clean gamma delta"), ("S", "clean eps zeta"),
+                              ("S", "dup dup dup")]),
+            ])
+        )
+        return t1, t2
+
+    def test_ambiguous_leaves_found(self):
+        t1, t2 = self.make_pair_with_duplicates()
+        ambiguous = ambiguous_leaves(t1, t2)
+        assert len(ambiguous) == 1  # the "dup dup dup" sentence in t1
+
+    def test_no_ambiguity_no_flags(self):
+        t1 = Tree.from_obj(("D", None, [("P", None, [("S", "only one here")])]))
+        estimates = mismatch_upper_bound(t1, t1.copy())
+        assert all(est.flagged == 0 for est in estimates)
+
+    def test_monotone_in_t(self):
+        """Table 1's shape: the upper bound grows with the threshold t."""
+        t1, t2 = self.make_pair_with_duplicates()
+        estimates = mismatch_upper_bound(t1, t2)
+        percents = [est.percent for est in estimates]
+        assert percents == sorted(percents)
+
+    def test_t_one_flags_any_ambiguity(self):
+        t1, t2 = self.make_pair_with_duplicates()
+        [estimate] = mismatch_upper_bound(t1, t2, thresholds=(1.0,))
+        assert estimate.flagged == 1  # the paragraph containing the dup
+        assert estimate.total == 2
+        assert estimate.percent == 50.0
+
+    def test_t_half_requires_majority(self):
+        t1, t2 = self.make_pair_with_duplicates()
+        [estimate] = mismatch_upper_bound(t1, t2, thresholds=(0.5,))
+        # 1 ambiguous of 2 leaves is not > (1 - 0.5) * 2 = 1
+        assert estimate.flagged == 0
+
+    def test_percent_empty_tree(self):
+        t = Tree.from_obj(("D", None, [("S", "x")]))
+        estimates = mismatch_upper_bound(t, t.copy())
+        assert all(est.percent == 0.0 for est in estimates)

@@ -1,0 +1,118 @@
+"""Tests for the repro-diff command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def latex_files(tmp_path):
+    old = tmp_path / "old.tex"
+    new = tmp_path / "new.tex"
+    old.write_text(
+        "\\section{Intro}\n\nShared sentence one. Shared sentence two. "
+        "A doomed line here.\n",
+        encoding="utf-8",
+    )
+    new.write_text(
+        "\\section{Intro}\n\nShared sentence one. Shared sentence two. "
+        "A freshly written line.\n",
+        encoding="utf-8",
+    )
+    return str(old), str(new)
+
+
+@pytest.fixture
+def sexpr_files(tmp_path):
+    old = tmp_path / "old.sexpr"
+    new = tmp_path / "new.sexpr"
+    old.write_text('(D (P (S "alpha one") (S "beta two")))', encoding="utf-8")
+    new.write_text('(D (P (S "beta two") (S "alpha one")))', encoding="utf-8")
+    return str(old), str(new)
+
+
+class TestLadiffCommand:
+    def test_stdout_output(self, latex_files, capsys):
+        old, new = latex_files
+        assert main(["ladiff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "\\textbf{" in out  # inserted sentence in bold
+        assert "{\\small " in out  # deleted sentence in small font
+
+    def test_write_to_file(self, latex_files, tmp_path, capsys):
+        old, new = latex_files
+        target = str(tmp_path / "marked.tex")
+        assert main(["ladiff", old, new, "-o", target]) == 0
+        with open(target, encoding="utf-8") as handle:
+            assert "\\textbf{" in handle.read()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_html_output_format(self, latex_files, capsys):
+        old, new = latex_files
+        assert main(["ladiff", old, new, "--output-format", "html"]) == 0
+        assert "<ins>" in capsys.readouterr().out
+
+    def test_summary_flag(self, latex_files, capsys):
+        old, new = latex_files
+        assert main(["ladiff", old, new, "--summary"]) == 0
+        captured = capsys.readouterr()
+        assert "summary:" in captured.err
+
+    def test_thresholds_accepted(self, latex_files, capsys):
+        old, new = latex_files
+        assert main(["ladiff", old, new, "-t", "0.8", "-f", "0.4"]) == 0
+
+
+class TestScriptCommand:
+    def test_paper_notation(self, sexpr_files, capsys):
+        old, new = sexpr_files
+        assert main(["script", old, new]) == 0
+        captured = capsys.readouterr()
+        assert "MOV(" in captured.out
+        assert "# cost" in captured.err
+
+    def test_json_output(self, sexpr_files, capsys):
+        old, new = sexpr_files
+        assert main(["script", old, new, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload and payload[0]["op"] == "move"
+
+    def test_json_tree_input(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(
+            json.dumps({"id": 1, "label": "D", "children": [
+                {"id": 2, "label": "S", "value": "keep this here"}]}),
+            encoding="utf-8",
+        )
+        new.write_text(
+            json.dumps({"id": 1, "label": "D", "children": [
+                {"id": 2, "label": "S", "value": "keep this here"},
+                {"id": 3, "label": "S", "value": "add that there"}]}),
+            encoding="utf-8",
+        )
+        assert main(["script", str(old), str(new)]) == 0
+        assert "INS(" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def test_reports_measurements(self, latex_files, capsys):
+        old, new = latex_files
+        assert main(["stats", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "unweighted dist (d):" in out
+        assert "weighted dist (e):" in out
+        assert "analytical bound:" in out
+        assert "leaf compares (r1):" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["teleport", "a", "b"])

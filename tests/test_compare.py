@@ -1,0 +1,157 @@
+"""Tests for the compare package (sentence and generic comparators)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compare import (
+    CompareRegistry,
+    SentenceComparator,
+    default_compare,
+    exact_compare,
+    numeric_compare,
+    tokenize_words,
+    word_lcs_distance,
+)
+from repro.core import Tree
+
+sentences = st.text(
+    alphabet=st.sampled_from(list("abc xyz")), min_size=0, max_size=40
+)
+
+
+class TestWordLcsDistance:
+    def test_identical_is_zero(self):
+        assert word_lcs_distance("hello world", "hello world") == 0.0
+
+    def test_disjoint_is_two(self):
+        assert word_lcs_distance("aaa bbb", "ccc ddd") == 2.0
+
+    def test_one_word_changed(self):
+        # 3 words, 2 common: (3 + 3 - 4) / 3 = 2/3
+        assert word_lcs_distance("a b c", "a b d") == pytest.approx(2 / 3)
+
+    def test_subset_sentence(self):
+        # "a b" vs "a b c": (2 + 3 - 4) / 3 = 1/3
+        assert word_lcs_distance("a b", "a b c") == pytest.approx(1 / 3)
+
+    def test_empty_cases(self):
+        assert word_lcs_distance("", "") == 0.0
+        assert word_lcs_distance(None, None) == 0.0
+        assert word_lcs_distance("", "hello") == 2.0
+        assert word_lcs_distance("hello", None) == 2.0
+
+    def test_word_order_matters(self):
+        # reversed words share only an LCS of length 1
+        assert word_lcs_distance("a b", "b a") == pytest.approx(1.0)
+
+    @given(sentences, sentences)
+    @settings(max_examples=200, deadline=None)
+    def test_range_and_symmetry(self, a, b):
+        d = word_lcs_distance(a, b)
+        assert 0.0 <= d <= 2.0
+        assert d == pytest.approx(word_lcs_distance(b, a))
+
+    @given(sentences)
+    @settings(max_examples=100, deadline=None)
+    def test_identity(self, a):
+        assert word_lcs_distance(a, a) == 0.0
+
+    def test_consistency_property(self):
+        """Similar sentences land below 1 (move+update beats delete+insert)."""
+        old = "the quick brown fox jumps over the lazy dog"
+        new = "the quick brown fox leaps over the lazy dog"
+        assert word_lcs_distance(old, new) < 1.0
+        different = "completely unrelated words appear here instead now then"
+        assert word_lcs_distance(old, different) > 1.0
+
+
+class TestTokenizeWords:
+    def test_whitespace_split(self):
+        assert tokenize_words("a  b\tc\nd") == ["a", "b", "c", "d"]
+
+    def test_empty(self):
+        assert tokenize_words("") == []
+        assert tokenize_words("   ") == []
+
+
+class TestSentenceComparator:
+    def test_matches_plain_function(self):
+        comparator = SentenceComparator()
+        assert comparator("a b c", "a b d") == pytest.approx(
+            word_lcs_distance("a b c", "a b d")
+        )
+
+    def test_case_insensitive(self):
+        comparator = SentenceComparator(case_sensitive=False)
+        assert comparator("Hello World", "hello world") == 0.0
+
+    def test_punctuation_stripping(self):
+        comparator = SentenceComparator(strip_punctuation=True)
+        assert comparator("the end.", "the end") == 0.0
+
+    def test_counts_calls(self):
+        comparator = SentenceComparator()
+        comparator("a", "b")
+        comparator("a", "c")
+        assert comparator.calls == 2
+
+    def test_cache_eviction(self):
+        comparator = SentenceComparator(cache_size=2)
+        for i in range(10):
+            comparator(f"sentence {i}", f"sentence {i + 1}")
+        assert comparator(f"sentence 1", f"sentence 1") == 0.0
+
+    def test_none_values(self):
+        comparator = SentenceComparator()
+        assert comparator(None, None) == 0.0
+        assert comparator(None, "x") == 2.0
+
+
+class TestGenericComparators:
+    def test_exact(self):
+        assert exact_compare("a", "a") == 0.0
+        assert exact_compare("a", "b") == 2.0
+        assert exact_compare(1, 1.0) == 0.0
+
+    def test_numeric_relative(self):
+        assert numeric_compare(10, 10) == 0.0
+        assert numeric_compare(10, 5) == pytest.approx(0.5)
+        assert numeric_compare(1, -1) == 2.0
+        assert numeric_compare(0, 0) == 0.0
+
+    def test_numeric_falls_back_on_non_numbers(self):
+        assert numeric_compare("a", "b") == 2.0
+
+    def test_default_dispatch(self):
+        assert default_compare("a b", "a b") == 0.0
+        assert default_compare(3, 4) == pytest.approx(0.25)
+        assert default_compare(None, None) == 0.0
+        assert default_compare(None, "x") == 2.0
+        assert default_compare(("t",), ("t",)) == 0.0
+
+
+class TestCompareRegistry:
+    def test_label_routing(self):
+        registry = CompareRegistry()
+        registry.register("price", numeric_compare)
+        assert registry.compare(10, 5, label="price") == pytest.approx(0.5)
+        # default for unknown label: word distance for strings
+        assert registry.compare("a b", "a c", label="S") == pytest.approx(1.0)
+
+    def test_compare_nodes_uses_first_label(self):
+        registry = CompareRegistry()
+        registry.register("N", numeric_compare)
+        tree = Tree.from_obj(("D", None, [("N", 4), ("N", 2)]))
+        a, b = list(tree.leaves())
+        assert registry.compare_nodes(a, b) == pytest.approx(0.5)
+
+    def test_counts_calls(self):
+        registry = CompareRegistry()
+        registry.compare("a", "b")
+        registry.compare("a", "b")
+        assert registry.calls == 2
+
+    def test_comparator_for_default(self):
+        registry = CompareRegistry(default=exact_compare)
+        assert registry.comparator_for("anything") is exact_compare

@@ -1,0 +1,171 @@
+"""Tests for delta trees (Section 6): builder and annotations."""
+
+import pytest
+
+from repro.core import Tree
+from repro.deltatree import (
+    Del,
+    Idn,
+    Ins,
+    Mov,
+    Mrk,
+    Upd,
+    build_delta_tree,
+    change_summary,
+)
+from repro.diff import tree_diff
+
+
+def delta_for(t1, t2, **kwargs):
+    result = tree_diff(t1, t2, **kwargs)
+    assert result.verify(t1, t2)
+    return build_delta_tree(t1, t2, result.edit)
+
+
+class TestMirrorStructure:
+    def test_identical_trees_all_idn(self):
+        t1 = Tree.from_obj(("D", None, [("P", None, [("S", "a b c")])]))
+        delta = delta_for(t1, t1.copy())
+        assert all(isinstance(n.annotation, Idn) for n in delta.preorder())
+        assert change_summary(delta) == "no changes"
+
+    def test_mirror_preserves_t2_order(self):
+        t1 = Tree.from_obj(("D", None, [("S", "one one"), ("S", "two two")]))
+        t2 = Tree.from_obj(("D", None, [("S", "two two"), ("S", "one one")]))
+        delta = delta_for(t1, t2)
+        non_tombstone = [
+            n.value for n in delta.preorder()
+            if n.t2_id is not None and n.label == "S"
+        ]
+        assert non_tombstone == ["two two", "one one"]
+
+    def test_every_t2_node_present(self):
+        t1 = Tree.from_obj(("D", None, [("P", None, [("S", "a b")])]))
+        t2 = Tree.from_obj(
+            ("D", None, [("P", None, [("S", "a b"), ("S", "c d")]), ("P", None, [])])
+        )
+        delta = delta_for(t1, t2)
+        t2_ids = {n.t2_id for n in delta.preorder() if n.t2_id is not None}
+        assert t2_ids == set(t2.node_ids())
+
+
+class TestAnnotations:
+    def test_insert_annotation(self):
+        t1 = Tree.from_obj(("D", None, [("S", "stay here now")]))
+        t2 = Tree.from_obj(
+            ("D", None, [("S", "stay here now"), ("S", "brand new line")])
+        )
+        delta = delta_for(t1, t2)
+        ins = delta.nodes_with_tag("INS")
+        assert len(ins) == 1 and ins[0].value == "brand new line"
+
+    def test_delete_tombstone_at_old_position(self):
+        t1 = Tree.from_obj(
+            ("D", None, [("S", "first one here"), ("S", "second two there"),
+                          ("S", "third three where")])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [("S", "first one here"), ("S", "third three where")])
+        )
+        delta = delta_for(t1, t2)
+        children = delta.root.children
+        tags = [c.tag for c in children]
+        values = [c.value for c in children]
+        assert tags == ["IDN", "DEL", "IDN"]
+        assert values[1] == "second two there"
+
+    def test_update_annotation_keeps_old_value(self):
+        from repro.matching import MatchConfig
+        t1 = Tree.from_obj(("D", None, [("S", "alpha beta gamma")]))
+        t2 = Tree.from_obj(("D", None, [("S", "alpha beta delta")]))
+        # one word of three changed: distance 2/3, so f must admit it
+        delta = delta_for(t1, t2, config=MatchConfig(f=0.7))
+        upd = delta.nodes_with_tag("UPD")
+        assert len(upd) == 1
+        assert upd[0].annotation.old_value == "alpha beta gamma"
+        assert upd[0].value == "alpha beta delta"
+
+    def test_move_and_marker_pair(self):
+        # Paragraphs keep enough common sentences to stay matched
+        # (Criterion 2), so the wanderer is detected as a genuine move.
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "moving sentence alpha"), ("S", "fixed one beta"),
+                              ("S", "fixed extra delta")]),
+                ("P", None, [("S", "fixed two gamma"), ("S", "fixed three eps"),
+                              ("S", "fixed four zeta")]),
+            ])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "fixed one beta"), ("S", "fixed extra delta")]),
+                ("P", None, [("S", "fixed two gamma"), ("S", "fixed three eps"),
+                              ("S", "fixed four zeta"), ("S", "moving sentence alpha")]),
+            ])
+        )
+        delta = delta_for(t1, t2)
+        moves = delta.moves()
+        markers = delta.markers()
+        assert len(moves) == 1 and len(markers) == 1
+        assert set(moves) == set(markers)  # keys pair up
+        key = next(iter(moves))
+        assert moves[key].value == "moving sentence alpha"
+        assert markers[key].value == "moving sentence alpha"
+
+    def test_move_with_update_flag(self):
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "the old sentence words here"),
+                              ("S", "anchor stays here"), ("S", "anchor two also")]),
+                ("P", None, [("S", "another anchor too"), ("S", "more anchors yet"),
+                              ("S", "last anchor still")]),
+            ])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "anchor stays here"), ("S", "anchor two also")]),
+                ("P", None, [("S", "another anchor too"), ("S", "more anchors yet"),
+                              ("S", "last anchor still"),
+                              ("S", "the old sentence words changed")]),
+            ])
+        )
+        delta = delta_for(t1, t2)
+        moves = list(delta.moves().values())
+        assert len(moves) == 1
+        assert moves[0].annotation.updated
+        assert moves[0].annotation.old_value == "the old sentence words here"
+
+    def test_deleted_subtree_nested(self):
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "gone sentence one"), ("S", "gone sentence two")]),
+                ("P", None, [("S", "keeper sentence here")]),
+            ])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [("P", None, [("S", "keeper sentence here")])])
+        )
+        delta = delta_for(t1, t2)
+        del_nodes = delta.nodes_with_tag("DEL")
+        # whole paragraph + two sentences inside it
+        assert len(del_nodes) == 3
+        paragraph = next(n for n in del_nodes if n.label == "P")
+        assert [c.tag for c in paragraph.children] == ["DEL", "DEL"]
+
+    def test_counts(self):
+        t1 = Tree.from_obj(("D", None, [("S", "a b"), ("S", "c d")]))
+        t2 = Tree.from_obj(("D", None, [("S", "a b"), ("S", "e f g h")]))
+        delta = delta_for(t1, t2)
+        counts = delta.counts()
+        assert counts.get("INS", 0) == 1
+        assert counts.get("DEL", 0) == 1
+
+
+class TestDeletedRoot:
+    def test_unmatched_root_tombstone_attached(self):
+        t1 = Tree.from_obj(("A", None, [("S", "x y z")]))
+        t2 = Tree.from_obj(("B", None, [("S", "x y z")]))
+        delta = delta_for(t1, t2)
+        tags = [n.tag for n in delta.preorder()]
+        assert "DEL" in tags  # the old root A is represented
+        assert delta.root.label == "B"

@@ -1,0 +1,133 @@
+"""Tests for the §6 delta-tree correctness checker."""
+
+import pytest
+
+from repro import Tree, tree_diff
+from repro.deltatree import (
+    Del,
+    DeltaNode,
+    DeltaTree,
+    Idn,
+    Ins,
+    Upd,
+    assert_delta_tree,
+    build_delta_tree,
+    check_delta_tree,
+)
+from repro.matching import MatchConfig
+from repro.workload import DocumentSpec, MutationEngine, generate_document
+
+
+def built_delta(t1, t2, **kwargs):
+    result = tree_diff(t1, t2, **kwargs)
+    assert result.verify(t1, t2)
+    return build_delta_tree(t1, t2, result.edit)
+
+
+class TestBuilderOutputIsCorrect:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_deltas_pass(self, seed):
+        base = generate_document(
+            seed % 4, DocumentSpec(sections=2, paragraphs_per_section=3)
+        )
+        edited = MutationEngine(seed + 21).mutate(base, 1 + seed).tree
+        delta = built_delta(base, edited)
+        problems = check_delta_tree(delta, base, edited)
+        assert problems == []
+
+    def test_rich_delta_passes(self):
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "mover alpha beta"), ("S", "anchor one"),
+                              ("S", "anchor two"), ("S", "doomed line")]),
+                ("P", None, [("S", "anchor three"), ("S", "anchor four"),
+                              ("S", "edit me w1 w2 w3 w4")]),
+            ])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "anchor one"), ("S", "anchor two"),
+                              ("S", "fresh insert")]),
+                ("P", None, [("S", "anchor three"), ("S", "anchor four"),
+                              ("S", "edit me w1 w2 w9 w4"),
+                              ("S", "mover alpha beta")]),
+            ])
+        )
+        delta = built_delta(t1, t2, config=MatchConfig(f=0.7))
+        assert_delta_tree(delta, t1, t2)  # no raise
+
+    def test_identity_delta_passes(self):
+        t = Tree.from_obj(("D", None, [("P", None, [("S", "x y")])]))
+        delta = built_delta(t, t.copy())
+        assert check_delta_tree(delta, t, t.copy()) == []
+
+
+class TestCheckerCatchesCorruption:
+    def make_valid(self):
+        t1 = Tree.from_obj(("D", None, [("S", "one two"), ("S", "three four")]))
+        t2 = Tree.from_obj(("D", None, [("S", "one two")]))
+        return t1, t2, built_delta(t1, t2)
+
+    def test_mirror_value_corruption(self):
+        t1, t2, delta = self.make_valid()
+        live = next(n for n in delta.preorder() if n.tag == "IDN" and n.label == "S")
+        live.value = "corrupted"
+        problems = check_delta_tree(delta, t1, t2)
+        assert any("mirror value" in p for p in problems)
+
+    def test_missing_tombstone(self):
+        t1, t2, delta = self.make_valid()
+        delta.root.children = [
+            c for c in delta.root.children if c.tag != "DEL"
+        ]
+        problems = check_delta_tree(delta, t1, t2)
+        assert any("unaccounted" in p for p in problems)
+
+    def test_phantom_tombstone(self):
+        t1, t2, delta = self.make_valid()
+        extra = DeltaNode("S", "never existed", Del(), t1_id=2)
+        delta.root.children.append(extra)
+        problems = check_delta_tree(delta, t1, t2)
+        assert problems  # phantom or double-counted leaves
+
+    def test_noop_update_flagged(self):
+        t1, t2, delta = self.make_valid()
+        node = delta.root.children[0]
+        node.annotation = Upd(old_value=node.value)
+        problems = check_delta_tree(delta)
+        assert any("changes nothing" in p for p in problems)
+
+    def test_live_child_inside_del_flagged(self):
+        root = DeltaNode("D", None, Idn())
+        dead = DeltaNode("P", None, Del())
+        alive = DeltaNode("S", "still here", Ins())
+        dead.children.append(alive)
+        root.children.append(dead)
+        problems = check_delta_tree(DeltaTree(root))
+        assert any("live child" in p for p in problems)
+
+    def test_unpaired_marker_flagged(self):
+        from repro.deltatree import Mov
+        root = DeltaNode("D", None, Idn())
+        root.children.append(DeltaNode("S", "x", Mov(marker="M1")))
+        problems = check_delta_tree(DeltaTree(root))
+        assert any("unpaired" in p for p in problems)
+
+    def test_ins_with_old_identity_flagged(self):
+        root = DeltaNode("D", None, Idn())
+        bad = DeltaNode("S", "x", Ins(), t1_id=42)
+        root.children.append(bad)
+        problems = check_delta_tree(DeltaTree(root))
+        assert any("old-tree identity" in p for p in problems)
+
+    def test_mirror_extra_child_flagged(self):
+        t1, t2, delta = self.make_valid()
+        delta.root.children.append(DeltaNode("S", "sneaky", Idn()))
+        problems = check_delta_tree(delta, t1, t2)
+        assert any("child count" in p for p in problems)
+
+    def test_assert_raises_with_message(self):
+        t1, t2, delta = self.make_valid()
+        delta.root.children[0].value = "broken"
+        with pytest.raises(AssertionError):
+            assert_delta_tree(delta, t1, t2)

@@ -1,0 +1,224 @@
+"""Tests for delta-tree queries and active rules."""
+
+import pytest
+
+from repro.core import Tree
+from repro.deltatree import (
+    Rule,
+    RuleEngine,
+    build_delta_tree,
+    change_counts_by_path,
+    changed_nodes,
+    changed_subtree_roots,
+    select,
+)
+from repro.diff import tree_diff
+
+
+@pytest.fixture
+def delta():
+    """A delta with one insert, one delete, one update, one move."""
+    t1 = Tree.from_obj(
+        ("D", None, [
+            ("Sec", "Alpha", [
+                ("P", None, [
+                    ("S", "mover goes far away"),
+                    ("S", "first anchor sentence"),
+                    ("S", "second anchor sentence"),
+                    ("S", "third anchor here also"),
+                    ("S", "doomed sentence here"),
+                ]),
+            ]),
+            ("Sec", "Beta", [
+                ("P", None, [
+                    ("S", "third anchor sentence"),
+                    ("S", "fourth anchor sentence"),
+                    ("S", "update me one two three four"),
+                ]),
+            ]),
+        ])
+    )
+    t2 = Tree.from_obj(
+        ("D", None, [
+            ("Sec", "Alpha", [
+                ("P", None, [
+                    ("S", "first anchor sentence"),
+                    ("S", "second anchor sentence"),
+                    ("S", "third anchor here also"),
+                    ("S", "freshly inserted sentence"),
+                ]),
+            ]),
+            ("Sec", "Beta", [
+                ("P", None, [
+                    ("S", "third anchor sentence"),
+                    ("S", "fourth anchor sentence"),
+                    ("S", "update me one two nine four"),
+                    ("S", "mover goes far away"),
+                ]),
+            ]),
+        ])
+    )
+    from repro.matching import MatchConfig
+    result = tree_diff(t1, t2, config=MatchConfig(f=0.7))
+    assert result.verify(t1, t2)
+    return build_delta_tree(t1, t2, result.edit)
+
+
+class TestSelect:
+    def test_select_all(self, delta):
+        everything = select(delta)
+        assert len(everything) == sum(1 for _ in delta.preorder())
+
+    def test_select_by_tag(self, delta):
+        ins = select(delta, tags=["INS"])
+        assert len(ins) == 1
+        assert ins[0].node.value == "freshly inserted sentence"
+
+    def test_select_by_label(self, delta):
+        sections = select(delta, label="Sec")
+        assert len(sections) == 2
+
+    def test_select_by_exact_path(self, delta):
+        hits = select(delta, path="D/Sec/P/S")
+        assert hits and all(m.node.label == "S" for m in hits)
+        assert all(m.pretty_path == "D/Sec/P/S" for m in hits)
+
+    def test_star_matches_one_level(self, delta):
+        hits = select(delta, path="D/*/P")
+        assert hits and all(m.node.label == "P" for m in hits)
+        # a single star never spans two levels
+        assert not select(delta, path="D/*/S")
+
+    def test_star_top_level(self, delta):
+        hits = select(delta, path="D/*")
+        assert {m.node.label for m in hits} == {"Sec"}
+
+    def test_doublestar_any_depth(self, delta):
+        hits = select(delta, path="**/S")
+        assert hits and all(m.node.label == "S" for m in hits)
+        assert len(hits) == len(select(delta, label="S"))
+
+    def test_doublestar_trailing(self, delta):
+        hits = select(delta, path="D/Sec/**")
+        labels = {m.node.label for m in hits}
+        assert "P" in labels and "S" in labels and "Sec" in labels
+
+    def test_value_contains(self, delta):
+        hits = select(delta, value_contains="anchor")
+        assert len(hits) == 5
+
+    def test_predicate(self, delta):
+        hits = select(delta, predicate=lambda n: n.tag == "UPD")
+        assert len(hits) == 1
+
+    def test_empty_pattern_rejected(self, delta):
+        with pytest.raises(ValueError):
+            select(delta, path="///")
+
+    def test_combined_filters(self, delta):
+        hits = select(delta, path="**/S", tags=["MOV"], value_contains="mover")
+        assert len(hits) == 1
+
+
+class TestChangedViews:
+    def test_changed_nodes(self, delta):
+        tags = {m.node.tag for m in changed_nodes(delta)}
+        assert tags == {"INS", "DEL", "UPD", "MOV", "MRK"}
+
+    def test_changed_subtree_roots_maximal(self, delta):
+        roots = changed_subtree_roots(delta)
+        assert all(r.tag != "IDN" for r in roots)
+        # covering: every changed node is inside some root's subtree
+        covered = set()
+        for root in roots:
+            for node in root.preorder():
+                covered.add(id(node))
+        for match in changed_nodes(delta):
+            assert id(match.node) in covered
+
+    def test_whole_subtree_deletion_collapses(self):
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "gone one two"), ("S", "gone three four")]),
+                ("P", None, [("S", "keeper stays here")]),
+            ])
+        )
+        t2 = Tree.from_obj(("D", None, [("P", None, [("S", "keeper stays here")])]))
+        result = tree_diff(t1, t2)
+        delta = build_delta_tree(t1, t2, result.edit)
+        roots = changed_subtree_roots(delta)
+        assert len(roots) == 1
+        assert roots[0].label == "P" and roots[0].tag == "DEL"
+
+    def test_change_counts_by_path(self, delta):
+        counts = change_counts_by_path(delta, depth=1)
+        # both sections saw changes
+        assert any("Sec" in key for key in counts)
+        total = sum(sum(bucket.values()) for bucket in counts.values())
+        assert total == len(changed_nodes(delta))
+
+
+class TestRules:
+    def test_rule_fires_on_event(self, delta):
+        seen = []
+        engine = RuleEngine().add(
+            Rule(
+                name="collect-inserts",
+                events=("INS",),
+                action=lambda m: seen.append(m.node.value),
+            )
+        )
+        firings = engine.run(delta)
+        assert [f.rule for f in firings] == ["collect-inserts"]
+        assert seen == ["freshly inserted sentence"]
+
+    def test_condition_filters(self, delta):
+        engine = RuleEngine().add(
+            Rule(
+                name="long-updates",
+                events=("UPD",),
+                condition=lambda m: len(str(m.node.value).split()) > 3,
+            )
+        )
+        firings = engine.run(delta)
+        assert len(firings) == 1
+        assert firings[0].event == "UPD"
+
+    def test_path_scoped_rule(self, delta):
+        engine = RuleEngine().add(
+            Rule(name="sentence-changes", events=("MOV",), path="**/S")
+        )
+        firings = engine.run(delta)
+        assert len(firings) == 1
+        assert firings[0].path.endswith("/S")
+
+    def test_multiple_rules_in_order(self, delta):
+        order = []
+        engine = (
+            RuleEngine()
+            .add(Rule("first", events=("DEL",), action=lambda m: order.append("a")))
+            .add(Rule("second", events=("DEL",), action=lambda m: order.append("b")))
+        )
+        engine.run(delta)
+        assert order == ["a", "b"]
+
+    def test_duplicate_rule_name_rejected(self):
+        engine = RuleEngine().add(Rule("r1"))
+        with pytest.raises(ValueError):
+            engine.add(Rule("r1"))
+
+    def test_remove_rule(self):
+        engine = RuleEngine().add(Rule("r1"))
+        engine.remove("r1")
+        assert engine.rules == ()
+        with pytest.raises(KeyError):
+            engine.remove("r1")
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError):
+            Rule("bad", events=("TELEPORT",))
+
+    def test_detection_only_rule(self, delta):
+        engine = RuleEngine().add(Rule("watch-everything"))
+        firings = engine.run(delta)
+        assert len(firings) == len(changed_nodes(delta))

@@ -1,0 +1,199 @@
+"""Tests for the delta-tree renderers (text, LaTeX Table 2, HTML)."""
+
+import pytest
+
+from repro.core import Tree
+from repro.deltatree import build_delta_tree, render_html, render_latex, render_text
+from repro.diff import tree_diff
+from repro.ladiff import EXPECTED_LATEX_MARKERS
+from repro.matching import MatchConfig
+
+
+def make_delta(t1, t2, **kwargs):
+    result = tree_diff(t1, t2, **kwargs)
+    assert result.verify(t1, t2)
+    return build_delta_tree(t1, t2, result.edit)
+
+
+@pytest.fixture
+def rich_delta():
+    """A delta exercising insert, delete, update, and move at once."""
+    t1 = Tree.from_obj(
+        ("D", None, [
+            ("Sec", "Intro", [
+                ("P", None, [
+                    ("S", "mover goes far away"),
+                    ("S", "first anchor sentence"),
+                    ("S", "second anchor sentence"),
+                    ("S", "doomed sentence here"),
+                ]),
+                ("P", None, [
+                    ("S", "third anchor sentence"),
+                    ("S", "fourth anchor sentence"),
+                    ("S", "update me one two three four"),
+                ]),
+            ]),
+        ])
+    )
+    t2 = Tree.from_obj(
+        ("D", None, [
+            ("Sec", "Intro", [
+                ("P", None, [
+                    ("S", "first anchor sentence"),
+                    ("S", "second anchor sentence"),
+                    ("S", "freshly inserted sentence"),
+                ]),
+                ("P", None, [
+                    ("S", "third anchor sentence"),
+                    ("S", "fourth anchor sentence"),
+                    ("S", "update me one two nine four"),
+                    ("S", "mover goes far away"),
+                ]),
+            ]),
+        ])
+    )
+    return make_delta(t1, t2, config=MatchConfig(f=0.7))
+
+
+class TestRenderText:
+    def test_all_tags_present(self, rich_delta):
+        text = render_text(rich_delta)
+        assert "[INS]" in text
+        assert "[DEL]" in text
+        assert "[UPD" in text
+        assert "[MOV" in text
+        assert "[MRK" in text
+
+    def test_update_shows_both_values(self, rich_delta):
+        text = render_text(rich_delta)
+        assert "update me one two three four" in text
+        assert "update me one two nine four" in text
+
+    def test_indentation_reflects_depth(self, rich_delta):
+        lines = render_text(rich_delta).split("\n")
+        assert lines[0].startswith("D")
+        assert lines[1].startswith("  Sec")
+
+    def test_values_can_be_hidden(self, rich_delta):
+        text = render_text(rich_delta, show_values=False)
+        assert "first anchor sentence" not in text
+
+
+class TestRenderLatexTable2:
+    def test_sentence_markers(self, rich_delta):
+        latex = render_latex(rich_delta)
+        assert EXPECTED_LATEX_MARKERS[("S", "INS")] in latex  # \textbf{
+        assert EXPECTED_LATEX_MARKERS[("S", "DEL")] in latex  # {\small
+        assert EXPECTED_LATEX_MARKERS[("S", "UPD")] in latex  # \textit{
+        assert EXPECTED_LATEX_MARKERS[("S", "MOV")] in latex  # footnote
+
+    def test_move_label_and_footnote_pair(self, rich_delta):
+        latex = render_latex(rich_delta)
+        assert "S1:[" in latex
+        assert "\\footnote{Moved from S1}" in latex
+
+    def test_full_document_wrapper(self, rich_delta):
+        latex = render_latex(rich_delta, full_document=True)
+        assert latex.startswith("\\documentclass")
+        assert latex.rstrip().endswith("\\end{document}")
+
+    def test_paragraph_marginal_notes(self):
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("Sec", "One", [
+                    ("P", None, [("S", "stable anchor alpha"), ("S", "stable anchor beta")]),
+                    ("P", None, [("S", "whole paragraph going away now")]),
+                ]),
+            ])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [
+                ("Sec", "One", [
+                    ("P", None, [("S", "stable anchor alpha"), ("S", "stable anchor beta")]),
+                    ("P", None, [("S", "a new paragraph appears instead")]),
+                ]),
+            ])
+        )
+        latex = render_latex(make_delta(t1, t2))
+        assert "\\marginpar{Deleted para}" in latex
+        assert "\\marginpar{Inserted para}" in latex
+
+    def test_section_heading_annotations(self):
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("Sec", "Kept", [("P", None, [("S", "shared body sentence")])]),
+                ("Sec", "Dropped", [("P", None, [("S", "gone body sentence")])]),
+            ])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [
+                ("Sec", "Kept", [("P", None, [("S", "shared body sentence")])]),
+                ("Sec", "Added", [("P", None, [("S", "new body sentence")])]),
+            ])
+        )
+        latex = render_latex(make_delta(t1, t2))
+        assert "\\section{(ins) Added}" in latex
+        assert "\\section{(del) Dropped}" in latex
+        assert "\\section{Kept}" in latex
+
+    def test_latex_escaping(self):
+        t1 = Tree.from_obj(("D", None, [("P", None, [("S", "cost is 100% & $5")])]))
+        t2 = Tree.from_obj(("D", None, [("P", None, [("S", "cost is 100% & $5"),
+                                                      ("S", "x_1 {braces} #9")])]))
+        latex = render_latex(make_delta(t1, t2))
+        assert r"\%" in latex and r"\&" in latex and r"\$" in latex
+        assert r"\_" in latex and r"\{" in latex and r"\#" in latex
+
+    def test_list_items_rendered(self):
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("Sec", "L", [
+                    ("list", None, [
+                        ("item", None, [("S", "first item text")]),
+                        ("item", None, [("S", "second item text")]),
+                    ]),
+                ]),
+            ])
+        )
+        latex = render_latex(make_delta(t1, t1.copy()))
+        assert "\\begin{itemize}" in latex
+        assert "\\item first item text" in latex
+
+
+class TestRenderHtml:
+    def test_ins_del_tags(self, rich_delta):
+        html_out = render_html(rich_delta)
+        assert "<ins>freshly inserted sentence</ins>" in html_out
+        assert "<del>doomed sentence here</del>" in html_out
+
+    def test_update_emphasis(self, rich_delta):
+        html_out = render_html(rich_delta)
+        assert '<em class="upd">update me one two nine four</em>' in html_out
+
+    def test_move_anchor_links(self, rich_delta):
+        html_out = render_html(rich_delta)
+        assert 'class="mov"' in html_out
+        assert 'class="mrk"' in html_out
+        assert 'href="#' in html_out
+
+    def test_full_document(self, rich_delta):
+        html_out = render_html(rich_delta, full_document=True)
+        assert html_out.startswith("<!DOCTYPE html>")
+        assert "<style>" in html_out
+
+    def test_html_escaping(self):
+        t1 = Tree.from_obj(("D", None, [("P", None, [("S", "a < b & c > d")])]))
+        html_out = render_html(make_delta(t1, t1.copy()))
+        assert "a &lt; b &amp; c &gt; d" in html_out
+
+    def test_headings(self):
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("Sec", "Top Title", [
+                    ("SubSec", "Sub Title", [("P", None, [("S", "body words")])]),
+                ]),
+            ])
+        )
+        html_out = render_html(make_delta(t1, t1.copy()))
+        assert "<h2>Top Title</h2>" in html_out
+        assert "<h3>Sub Title</h3>" in html_out

@@ -1,0 +1,328 @@
+"""Tests for Algorithm EditScript (paper Section 4, Figures 8-9)."""
+
+import random
+
+import pytest
+
+from repro.core import Tree, trees_isomorphic
+from repro.editscript import (
+    DUMMY_ROOT_LABEL,
+    EditScript,
+    Insert,
+    Move,
+    Update,
+    generate_edit_script,
+)
+from repro.matching import Matching
+
+from conftest import random_document_tree
+
+
+def paper_matching(t1, t2):
+    """The Figure 1 matching: dashed lines of the running example.
+
+    T1 ids: 1=D, 2=P(a b), 3=S a, 4=S b, 5=P(c), 6=S c, 7=P(d e f),
+            8=S d, 9=S e, 10=S f
+    T2 ids: 1=D, 2=P(a), 3=S a, 4=P(d e f g), 5=S d, 6=S e, 7=S f,
+            8=S g, 9=P(c), 10=S c
+    Paper pairs (using its identifiers 11..21 for T2):
+    leaves (5,15),(7,16),(8,18),(9,19),(10,17) -> here (3,3),(6,10),
+    (8,5),(9,6),(10,7); internal (2,12),(3,14),(4,13) -> (2,2),(5,9),(7,4);
+    roots (1,11) -> (1,1).
+    """
+    return Matching([
+        (1, 1), (2, 2), (3, 3), (5, 9), (6, 10), (7, 4),
+        (8, 5), (9, 6), (10, 7),
+    ])
+
+
+class TestRunningExample:
+    def test_transforms_to_isomorphic_tree(self, figure1_trees):
+        t1, t2 = figure1_trees
+        result = generate_edit_script(t1, t2, paper_matching(t1, t2))
+        assert result.verify(t1, t2)
+
+    def test_expected_operations(self, figure1_trees):
+        """The paper's MCES for Figure 1: one align move (MOV(4,1,2) in the
+        paper's ids), one insert of S g, one delete of S b — cost 3."""
+        t1, t2 = figure1_trees
+        result = generate_edit_script(t1, t2, paper_matching(t1, t2))
+        summary = result.script.summary()
+        assert summary["move"] == 1
+        assert summary["insert"] == 1
+        assert summary["delete"] == 1
+        assert summary["update"] == 0
+        assert result.cost() == pytest.approx(3.0)
+
+    def test_align_move_is_intra_parent(self, figure1_trees):
+        t1, t2 = figure1_trees
+        result = generate_edit_script(t1, t2, paper_matching(t1, t2))
+        assert result.stats.intra_parent_moves == 1
+        assert result.stats.inter_parent_moves == 0
+
+    def test_matching_becomes_total(self, figure1_trees):
+        t1, t2 = figure1_trees
+        result = generate_edit_script(t1, t2, paper_matching(t1, t2))
+        for node in t2.preorder():
+            assert result.matching.has2(node.id)
+
+    def test_inputs_not_mutated(self, figure1_trees):
+        t1, t2 = figure1_trees
+        before1, before2 = t1.to_obj(), t2.to_obj()
+        generate_edit_script(t1, t2, paper_matching(t1, t2))
+        assert t1.to_obj() == before1
+        assert t2.to_obj() == before2
+
+
+class TestPhases:
+    def test_update_phase(self):
+        t1 = Tree.from_obj(("D", None, [("S", "old")]))
+        t2 = Tree.from_obj(("D", None, [("S", "new")]))
+        m = Matching([(1, 1), (2, 2)])
+        result = generate_edit_script(t1, t2, m)
+        assert [type(op) for op in result.script] == [Update]
+        op = result.script[0]
+        assert op.value == "new" and op.old_value == "old"
+        assert result.verify(t1, t2)
+
+    def test_insert_phase_position(self):
+        t1 = Tree.from_obj(("D", None, [("S", "a"), ("S", "c")]))
+        t2 = Tree.from_obj(("D", None, [("S", "a"), ("S", "b"), ("S", "c")]))
+        m = Matching([(1, 1), (2, 2), (3, 4)])
+        result = generate_edit_script(t1, t2, m)
+        inserts = result.script.inserts
+        assert len(inserts) == 1
+        assert inserts[0].value == "b"
+        assert inserts[0].position == 2  # between a and c
+        assert result.verify(t1, t2)
+
+    def test_delete_phase_is_bottom_up(self):
+        t1 = Tree.from_obj(
+            ("D", None, [("P", None, [("S", "a"), ("S", "b")])])
+        )
+        t2 = Tree.from_obj(("D", None, []))
+        m = Matching([(1, 1)])
+        result = generate_edit_script(t1, t2, m)
+        deleted = [op.node_id for op in result.script.deletes]
+        # children (3, 4) strictly before their parent (2)
+        assert deleted.index(3) < deleted.index(2)
+        assert deleted.index(4) < deleted.index(2)
+        assert result.verify(t1, t2)
+
+    def test_move_phase_inter_parent(self):
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "x")]),
+                ("P", None, []),
+            ])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, []),
+                ("P", None, [("S", "x")]),
+            ])
+        )
+        m = Matching([(1, 1), (2, 2), (4, 3), (3, 4)])
+        result = generate_edit_script(t1, t2, m)
+        assert len(result.script.moves) == 1
+        assert result.stats.inter_parent_moves == 1
+        assert result.verify(t1, t2)
+
+    def test_root_update_emitted(self):
+        """Deviation from Figure 8: value changes on matched roots are not
+        silently dropped."""
+        t1 = Tree.from_obj(("D", "old title"))
+        t2 = Tree.from_obj(("D", "new title"))
+        result = generate_edit_script(t1, t2, Matching([(1, 1)]))
+        assert len(result.script.updates) == 1
+        assert result.verify(t1, t2)
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            generate_edit_script(Tree(), Tree.from_obj(("D",)), Matching())
+
+
+class TestAlignChildren:
+    def test_minimal_moves_figure7(self):
+        """Figure 7: five matched children, LCS of length 3 -> 2 moves."""
+        t1 = Tree.from_obj(
+            ("D", None, [("S", "2"), ("S", "3"), ("S", "4"), ("S", "5"), ("S", "6")])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [("S", "3"), ("S", "5"), ("S", "6"), ("S", "2"), ("S", "4")])
+        )
+        m = Matching([(1, 1), (2, 5), (3, 2), (4, 6), (5, 3), (6, 4)])
+        result = generate_edit_script(t1, t2, m)
+        assert len(result.script.moves) == 2
+        assert result.stats.intra_parent_moves == 2
+        assert result.verify(t1, t2)
+
+    def test_reversal_needs_n_minus_1_moves(self):
+        values = [str(i) for i in range(6)]
+        t1 = Tree.from_obj(("D", None, [("S", v) for v in values]))
+        t2 = Tree.from_obj(("D", None, [("S", v) for v in reversed(values)]))
+        m = Matching([(1, 1)] + [(i + 2, 7 - i) for i in range(6)])
+        result = generate_edit_script(t1, t2, m)
+        # LCS of a reversal has length 1 -> n - 1 = 5 moves (Lemma C.1)
+        assert len(result.script.moves) == 5
+        assert result.verify(t1, t2)
+
+    def test_already_aligned_no_moves(self):
+        t1 = Tree.from_obj(("D", None, [("S", "a"), ("S", "b")]))
+        t2 = Tree.from_obj(("D", None, [("S", "a"), ("S", "b")]))
+        m = Matching([(1, 1), (2, 2), (3, 3)])
+        result = generate_edit_script(t1, t2, m)
+        assert result.script.is_empty()
+
+    def test_single_swap_one_move(self):
+        t1 = Tree.from_obj(("D", None, [("S", "a"), ("S", "b")]))
+        t2 = Tree.from_obj(("D", None, [("S", "b"), ("S", "a")]))
+        m = Matching([(1, 1), (2, 3), (3, 2)])
+        result = generate_edit_script(t1, t2, m)
+        assert len(result.script.moves) == 1
+        assert result.verify(t1, t2)
+
+
+class TestConformance:
+    """An edit script conforms to M: it never inserts/deletes matched nodes."""
+
+    def test_matched_nodes_never_deleted(self, figure1_trees):
+        t1, t2 = figure1_trees
+        m = paper_matching(t1, t2)
+        result = generate_edit_script(t1, t2, m)
+        matched_t1 = {x for x, _ in m.pairs()}
+        for op in result.script.deletes:
+            assert op.node_id not in matched_t1
+
+    def test_op_counts_match_unmatched_counts(self, figure1_trees):
+        """Theorem C.2's lower bound is met exactly: one insert per
+        unmatched T2 node, one delete per unmatched T1 node, one
+        inter-parent move per matched pair with unmatched parents."""
+        t1, t2 = figure1_trees
+        m = paper_matching(t1, t2)
+        result = generate_edit_script(t1, t2, m)
+        unmatched_t2 = sum(1 for n in t2.preorder() if not m.has2(n.id))
+        unmatched_t1 = sum(1 for n in t1.preorder() if not m.has1(n.id))
+        inter_parent = sum(
+            1
+            for x, y in m.pairs()
+            if t1.get(x).parent is not None
+            and t2.get(y).parent is not None
+            and not m.contains(t1.get(x).parent.id, t2.get(y).parent.id)
+        )
+        assert len(result.script.inserts) == unmatched_t2
+        assert len(result.script.deletes) == unmatched_t1
+        assert result.stats.inter_parent_moves == inter_parent
+
+
+class TestDummyRoots:
+    def test_unmatched_roots_wrap(self):
+        t1 = Tree.from_obj(("A", None, [("S", "x")]))
+        t2 = Tree.from_obj(("B", None, [("S", "x")]))
+        result = generate_edit_script(t1, t2, Matching([(2, 2)]))
+        assert result.wrapped
+        assert result.verify(t1, t2)
+
+    def test_wrapped_script_replays(self):
+        t1 = Tree.from_obj(("A", None, [("S", "x"), ("S", "y")]))
+        t2 = Tree.from_obj(("B", None, [("S", "y"), ("S", "x")]))
+        result = generate_edit_script(t1, t2, Matching([(2, 3), (3, 2)]))
+        replayed = result.replay(t1)
+        assert trees_isomorphic(replayed, t2)
+        assert replayed.root.label == "B"
+
+    def test_old_root_matched_to_interior(self):
+        t1 = Tree.from_obj(("P", None, [("S", "x")]))
+        t2 = Tree.from_obj(("D", None, [("P", None, [("S", "x")])]))
+        result = generate_edit_script(t1, t2, Matching([(1, 2), (2, 3)]))
+        assert result.wrapped
+        assert result.verify(t1, t2)
+
+    def test_completely_unrelated_trees(self):
+        t1 = Tree.from_obj(("A", None, [("S", "1"), ("S", "2")]))
+        t2 = Tree.from_obj(("Z", None, [("Q", None, [("S", "9")])]))
+        result = generate_edit_script(t1, t2, Matching())
+        assert result.verify(t1, t2)
+        assert DUMMY_ROOT_LABEL not in [n.label for n in result.replay(t1).preorder()]
+
+
+class TestEmptyMatchingAndExtremes:
+    def test_empty_matching_rebuilds_everything(self, figure1_trees):
+        t1, t2 = figure1_trees
+        result = generate_edit_script(t1, t2, Matching())
+        assert result.verify(t1, t2)
+        # all of T2 inserted, all of T1 deleted
+        assert len(result.script.inserts) == len(t2)
+        assert len(result.script.deletes) == len(t1)
+
+    def test_identity_matching_gives_empty_script(self, figure1_trees):
+        t1, _ = figure1_trees
+        t2 = t1.copy()
+        m = Matching([(n.id, n.id) for n in t1.preorder()])
+        result = generate_edit_script(t1, t2, m)
+        assert result.script.is_empty()
+
+    def test_single_node_trees(self):
+        t1 = Tree.from_obj(("D", "x"))
+        t2 = Tree.from_obj(("D", "y"))
+        result = generate_edit_script(t1, t2, Matching([(1, 1)]))
+        assert result.verify(t1, t2)
+
+
+class TestRandomizedInvariant:
+    """The core invariant on arbitrary label-respecting matchings."""
+
+    @staticmethod
+    def arbitrary_matching(t1, t2, rng):
+        matching = Matching()
+        buckets1, buckets2 = {}, {}
+        for node in t1.preorder():
+            buckets1.setdefault((node.label, node.is_leaf), []).append(node)
+        for node in t2.preorder():
+            buckets2.setdefault((node.label, node.is_leaf), []).append(node)
+        for key, nodes1 in buckets1.items():
+            nodes2 = buckets2.get(key, [])
+            a, b = nodes1[:], nodes2[:]
+            rng.shuffle(a)
+            rng.shuffle(b)
+            for x, y in zip(a, b):
+                if rng.random() < 0.7:
+                    matching.add(x.id, y.id)
+        return matching
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_transformation_invariant(self, seed):
+        rng = random.Random(seed)
+        t1 = random_document_tree(seed * 2 + 1)
+        t2 = random_document_tree(seed * 2 + 2)
+        matching = self.arbitrary_matching(t1, t2, rng)
+        result = generate_edit_script(t1, t2, matching)
+        assert result.verify(t1, t2)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_generator_engine_agreement(self, seed):
+        """The transformed working tree equals the replayed script output."""
+        rng = random.Random(1000 + seed)
+        t1 = random_document_tree(seed * 3 + 1)
+        t2 = random_document_tree(seed * 3 + 2)
+        matching = self.arbitrary_matching(t1, t2, rng)
+        result = generate_edit_script(t1, t2, matching)
+        replayed = result.replay(t1)
+        stripped = result.transformed
+        if result.wrapped:
+            assert stripped.root.label == DUMMY_ROOT_LABEL
+            assert len(stripped.root.children) == 1
+            assert trees_isomorphic_sub(stripped.root.children[0], replayed.root)
+        else:
+            assert trees_isomorphic(stripped, replayed)
+
+
+def trees_isomorphic_sub(node_a, node_b):
+    if node_a.label != node_b.label or node_a.value != node_b.value:
+        return False
+    if len(node_a.children) != len(node_b.children):
+        return False
+    return all(
+        trees_isomorphic_sub(a, b)
+        for a, b in zip(node_a.children, node_b.children)
+    )

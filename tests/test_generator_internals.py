@@ -1,0 +1,193 @@
+"""Targeted tests for EditScript generator internals: FindPos positions,
+AlignChildren anchoring, interleaved junk, and ordering hazards.
+
+These complement the black-box invariants in test_editscript_generator with
+scenarios engineered to hit specific position-computation branches.
+"""
+
+import pytest
+
+from repro.core import Tree, trees_isomorphic
+from repro.editscript import Insert, Move, generate_edit_script
+from repro.matching import Matching
+
+
+def leaf_values(tree, parent_id):
+    return [c.value for c in tree.get(parent_id).children]
+
+
+class TestFindPosAnchoring:
+    def test_insert_before_unmatched_junk(self):
+        """An insert at the front lands before doomed (unmatched) siblings."""
+        t1 = Tree.from_obj(("D", None, [("S", "junk one"), ("S", "keeper")]))
+        t2 = Tree.from_obj(("D", None, [("S", "brand new"), ("S", "keeper")]))
+        m = Matching([(1, 1), (3, 3)])
+        result = generate_edit_script(t1, t2, m)
+        assert result.verify(t1, t2)
+        [ins] = result.script.inserts
+        assert ins.position == 1
+
+    def test_insert_after_matched_anchor(self):
+        t1 = Tree.from_obj(("D", None, [("S", "anchor")]))
+        t2 = Tree.from_obj(("D", None, [("S", "anchor"), ("S", "tail")]))
+        m = Matching([(1, 1), (2, 2)])
+        result = generate_edit_script(t1, t2, m)
+        [ins] = result.script.inserts
+        assert ins.position == 2
+        assert result.verify(t1, t2)
+
+    def test_sequential_inserts_anchor_on_each_other(self):
+        """Later inserts use earlier ones as in-order anchors."""
+        t1 = Tree.from_obj(("D", None, [("S", "anchor")]))
+        t2 = Tree.from_obj(
+            ("D", None, [("S", "anchor"), ("S", "one"), ("S", "two"), ("S", "three")])
+        )
+        m = Matching([(1, 1), (2, 2)])
+        result = generate_edit_script(t1, t2, m)
+        positions = [op.position for op in result.script.inserts]
+        assert positions == [2, 3, 4]
+        assert result.verify(t1, t2)
+
+    def test_intra_parent_move_left_of_anchor(self):
+        """Moving a node rightward past its anchor compensates for the slot
+        it vacates (the moving_id adjustment in FindPos)."""
+        t1 = Tree.from_obj(
+            ("D", None, [("S", "m"), ("S", "a"), ("S", "b")])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [("S", "a"), ("S", "b"), ("S", "m")])
+        )
+        m = Matching([(1, 1), (2, 4), (3, 2), (4, 3)])
+        result = generate_edit_script(t1, t2, m)
+        assert result.verify(t1, t2)
+        [move] = result.script.moves
+        # after detaching "m", the target slot among (a, b) is 3
+        assert move.position == 3
+
+    def test_move_into_parent_with_junk_tail(self):
+        """Inter-parent move positions ignore unmatched trailing children."""
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "wanderer")]),
+                ("P", None, [("S", "stay"), ("S", "junk tail")]),
+            ])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, []),
+                ("P", None, [("S", "stay"), ("S", "wanderer")]),
+            ])
+        )
+        # t1: 2=P(wanderer), 4=P(stay, junk); t2: 2=P(), 3=P(stay, wanderer)
+        m = Matching([(1, 1), (2, 2), (4, 3), (5, 4), (3, 5)])
+        result = generate_edit_script(t1, t2, m)
+        assert result.verify(t1, t2)
+
+
+class TestOrderingHazards:
+    def test_move_into_freshly_inserted_parent(self):
+        """The BFS guarantees the inserted parent exists before the move
+        (the paper: 'an insert may need to precede a move')."""
+        t1 = Tree.from_obj(("D", None, [("S", "migrant sentence")]))
+        t2 = Tree.from_obj(
+            ("D", None, [("P", None, [("S", "migrant sentence")])])
+        )
+        m = Matching([(1, 1), (2, 3)])
+        result = generate_edit_script(t1, t2, m)
+        assert result.verify(t1, t2)
+        kinds = [type(op) for op in result.script]
+        assert kinds.index(Insert) < kinds.index(Move)
+
+    def test_cascaded_moves_into_nested_inserts(self):
+        t1 = Tree.from_obj(
+            ("D", None, [("S", "deep one"), ("S", "deep two")])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("Q", None, [("S", "deep one"), ("S", "deep two")])]),
+            ])
+        )
+        m = Matching([(1, 1), (2, 4), (3, 5)])
+        result = generate_edit_script(t1, t2, m)
+        assert result.verify(t1, t2)
+        assert len(result.script.inserts) == 2  # P and Q
+        assert len(result.script.moves) == 2
+
+    def test_swap_parents_of_two_subtrees(self):
+        """Two subtrees exchange parents — no cyclic-move hazard because
+        only proper descendants would cycle."""
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "one a"), ("S", "one b")]),
+                ("Q", None, [("S", "two a"), ("S", "two b")]),
+            ])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "two a"), ("S", "two b")]),
+                ("Q", None, [("S", "one a"), ("S", "one b")]),
+            ])
+        )
+        m = Matching([
+            (1, 1), (2, 2), (5, 5),
+            (3, 6), (4, 7),   # P's sentences now under Q'
+            (6, 3), (7, 4),   # Q's sentences now under P'
+        ])
+        result = generate_edit_script(t1, t2, m)
+        assert result.verify(t1, t2)
+        assert len(result.script.moves) == 4
+
+    def test_deep_demotion_chain(self):
+        """The old root's children sink a level under new containers."""
+        t1 = Tree.from_obj(
+            ("D", None, [("S", "s one"), ("S", "s two"), ("S", "s three")])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "s one")]),
+                ("P", None, [("S", "s two")]),
+                ("P", None, [("S", "s three")]),
+            ])
+        )
+        m = Matching([(1, 1), (2, 3), (3, 5), (4, 7)])
+        result = generate_edit_script(t1, t2, m)
+        assert result.verify(t1, t2)
+
+    def test_promotion_deletes_empty_containers(self):
+        t1 = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "s one")]),
+                ("P", None, [("S", "s two")]),
+            ])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [("S", "s one"), ("S", "s two")])
+        )
+        m = Matching([(1, 1), (3, 2), (5, 3)])
+        result = generate_edit_script(t1, t2, m)
+        assert result.verify(t1, t2)
+        assert len(result.script.deletes) == 2  # the two emptied paragraphs
+
+
+class TestStatsAccounting:
+    def test_counters_match_script_contents(self, figure1_trees):
+        t1, t2 = figure1_trees
+        m = Matching([(1, 1), (3, 3), (6, 10), (8, 5), (9, 6), (10, 7),
+                      (5, 9), (7, 4)])
+        result = generate_edit_script(t1, t2, m)
+        stats = result.stats
+        summary = result.script.summary()
+        assert stats.inserts == summary["insert"]
+        assert stats.deletes == summary["delete"]
+        assert stats.updates == summary["update"]
+        assert stats.moves == summary["move"]
+        assert stats.nodes_scanned == len(t2) + (1 if result.wrapped else 0)
+
+    def test_misaligned_nodes_counts_intra_moves_only(self):
+        t1 = Tree.from_obj(("D", None, [("S", "a"), ("S", "b"), ("S", "c")]))
+        t2 = Tree.from_obj(("D", None, [("S", "c"), ("S", "a"), ("S", "b")]))
+        m = Matching([(1, 1), (2, 3), (3, 4), (4, 2)])
+        result = generate_edit_script(t1, t2, m)
+        assert result.stats.misaligned_nodes == result.stats.intra_parent_moves
+        assert result.stats.inter_parent_moves == 0
+        assert result.verify(t1, t2)

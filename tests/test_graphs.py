@@ -1,0 +1,175 @@
+"""Tests for graph change detection (repro.graphs, §9 generalization)."""
+
+import pytest
+
+from repro.graphs import Graph, GraphError, encode_graph, graph_diff
+from repro.graphs import REF_LABEL
+
+
+def build_dag(shared_value="shared config block"):
+    """Two components sharing one node (a DAG)."""
+    g = Graph(root="r")
+    g.add_node("r", "root")
+    g.add_node("a", "mod", "module alpha")
+    g.add_node("b", "mod", "module beta")
+    g.add_node("s", "cfg", shared_value)
+    g.add_edge("r", "a")
+    g.add_edge("r", "b")
+    g.add_edge("a", "s")
+    g.add_edge("b", "s")  # second parent: becomes a __ref__ leaf
+    return g
+
+
+class TestGraphStructure:
+    def test_duplicate_node_rejected(self):
+        g = Graph(root="r")
+        g.add_node("r", "root")
+        with pytest.raises(GraphError):
+            g.add_node("r", "root")
+
+    def test_edge_to_unknown_node_rejected(self):
+        g = Graph(root="r")
+        g.add_node("r", "root")
+        with pytest.raises(GraphError):
+            g.add_edge("r", "ghost")
+
+    def test_missing_root_rejected(self):
+        g = Graph(root="nope")
+        g.add_node("r", "root")
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_reachable_order(self):
+        g = build_dag()
+        assert g.reachable() == ["r", "a", "s", "b"]
+
+    def test_edge_position(self):
+        g = Graph(root="r")
+        g.add_node("r", "root")
+        g.add_node("x", "n")
+        g.add_node("y", "n")
+        g.add_edge("r", "x")
+        g.add_edge("r", "y", position=0)
+        assert g.edges["r"] == ["y", "x"]
+
+
+class TestEncoding:
+    def test_shared_node_becomes_ref(self):
+        tree = encode_graph(build_dag())
+        labels = [n.label for n in tree.preorder()]
+        assert labels.count("cfg") == 1  # materialized once
+        assert labels.count(REF_LABEL) == 1  # referenced once
+
+    def test_ref_carries_target_signature(self):
+        tree = encode_graph(build_dag())
+        ref = next(n for n in tree.preorder() if n.label == REF_LABEL)
+        assert "shared config block" in str(ref.value)
+
+    def test_cycle_terminates(self):
+        g = Graph(root="a")
+        g.add_node("a", "n", "first")
+        g.add_node("b", "n", "second")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")  # back edge
+        tree = encode_graph(g)
+        labels = [n.label for n in tree.preorder()]
+        assert labels.count(REF_LABEL) == 1
+        assert len(labels) == 3
+
+    def test_unreachable_nodes_ignored(self):
+        g = Graph(root="r")
+        g.add_node("r", "root")
+        g.add_node("island", "n", "unreachable")
+        tree = encode_graph(g)
+        assert len(tree) == 1
+
+
+class TestGraphDiff:
+    def test_identical_graphs_empty_script(self):
+        result = graph_diff(build_dag(), build_dag())
+        assert result.script.is_empty()
+        assert result.verify()
+
+    def test_ids_do_not_matter(self):
+        """The same graph under renamed ids produces an empty delta."""
+        g1 = build_dag()
+        g2 = Graph(root="R2")
+        g2.add_node("R2", "root")
+        g2.add_node("A2", "mod", "module alpha")
+        g2.add_node("B2", "mod", "module beta")
+        g2.add_node("S2", "cfg", "shared config block")
+        g2.add_edge("R2", "A2")
+        g2.add_edge("R2", "B2")
+        g2.add_edge("A2", "S2")
+        g2.add_edge("B2", "S2")
+        result = graph_diff(g1, g2)
+        assert result.script.is_empty()
+
+    def test_shared_value_update(self):
+        result = graph_diff(
+            build_dag("shared config block"),
+            build_dag("shared config block v2"),
+        )
+        assert result.verify()
+        # the materialized copy updates; the reference signature changes too
+        assert len(result.script.updates) >= 1
+
+    def test_new_cross_edge_is_ref_insert(self):
+        g1 = build_dag()
+        g2 = build_dag()
+        g2.add_node("c", "mod", "module gamma")
+        g2.add_edge("r", "c")
+        g2.add_edge("c", "s")  # third parent for the shared node
+        result = graph_diff(g1, g2)
+        assert result.verify()
+        changes = result.edge_changes()
+        assert changes["ref_inserted"] >= 1
+
+    def test_removed_cross_edge_is_ref_delete(self):
+        g1 = build_dag()
+        g2 = Graph(root="r")
+        g2.add_node("r", "root")
+        g2.add_node("a", "mod", "module alpha")
+        g2.add_node("b", "mod", "module beta")
+        g2.add_node("s", "cfg", "shared config block")
+        g2.add_edge("r", "a")
+        g2.add_edge("r", "b")
+        g2.add_edge("a", "s")  # b -> s edge is gone
+        result = graph_diff(g1, g2)
+        assert result.verify()
+        assert result.edge_changes()["ref_deleted"] >= 1
+
+    def test_subgraph_move(self):
+        """Re-parenting a region shows up as a move of its encoding.
+
+        Both modules keep an anchor child in both versions so they stay
+        internal nodes (a childless module would encode as a leaf, and
+        leaves never match internal nodes).
+        """
+        def build(payload_parent):
+            g = Graph(root="r")
+            for node_id, label, value in (
+                ("r", "root", None),
+                ("x", "mod", "module xray"),
+                ("y", "mod", "module yankee"),
+                ("xa", "cfg", "xray anchor settings"),
+                ("xb", "cfg", "xray backup settings"),
+                ("ya", "cfg", "yankee anchor settings"),
+                ("yb", "cfg", "yankee backup settings"),
+                ("p", "cfg", "payload settings data"),
+            ):
+                g.add_node(node_id, label, value)
+            g.add_edge("r", "x")
+            g.add_edge("r", "y")
+            g.add_edge("x", "xa")
+            g.add_edge("x", "xb")
+            g.add_edge("y", "ya")
+            g.add_edge("y", "yb")
+            g.add_edge(payload_parent, "p")
+            return g
+
+        result = graph_diff(build("x"), build("y"))
+        assert result.verify()
+        assert len(result.script.moves) == 1
+        assert result.script.summary()["insert"] == 0
+        assert result.script.summary()["delete"] == 0

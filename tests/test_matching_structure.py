@@ -1,0 +1,145 @@
+"""Tests for the Matching data structure and the LabelSchema."""
+
+import pytest
+
+from repro.core import SchemaError, Tree
+from repro.core.errors import MatchingError
+from repro.matching import DOCUMENT_SCHEMA, LabelSchema, Matching
+
+
+class TestMatching:
+    def test_add_and_lookup(self):
+        m = Matching()
+        m.add(1, 10)
+        assert m.partner1(1) == 10
+        assert m.partner2(10) == 1
+        assert m.has1(1) and m.has2(10)
+        assert (1, 10) in m
+        assert m.contains(1, 10)
+
+    def test_unmatched_lookups(self):
+        m = Matching()
+        assert m.partner1(1) is None
+        assert m.partner2(1) is None
+        assert not m.has1(1)
+        assert (1, 2) not in m
+
+    def test_one_to_one_enforced(self):
+        m = Matching([(1, 10)])
+        with pytest.raises(MatchingError):
+            m.add(1, 20)
+        with pytest.raises(MatchingError):
+            m.add(2, 10)
+
+    def test_re_adding_same_pair_is_noop(self):
+        m = Matching([(1, 10)])
+        m.add(1, 10)
+        assert len(m) == 1
+
+    def test_remove(self):
+        m = Matching([(1, 10), (2, 20)])
+        m.remove(1, 10)
+        assert not m.has1(1) and not m.has2(10)
+        assert len(m) == 1
+
+    def test_remove_missing_raises(self):
+        m = Matching([(1, 10)])
+        with pytest.raises(MatchingError):
+            m.remove(1, 20)
+
+    def test_replace_unmatches_both_sides(self):
+        m = Matching([(1, 10), (2, 20)])
+        m.replace(1, 20)
+        assert m.contains(1, 20)
+        assert not m.has2(10)
+        assert not m.has1(2)
+        assert len(m) == 1
+
+    def test_copy_is_independent(self):
+        m = Matching([(1, 10)])
+        clone = m.copy()
+        clone.add(2, 20)
+        assert len(m) == 1 and len(clone) == 2
+
+    def test_pairs_order_and_equality(self):
+        m = Matching([(1, 10), (2, 20)])
+        assert list(m.pairs()) == [(1, 10), (2, 20)]
+        assert m == Matching([(1, 10), (2, 20)])
+        assert m != Matching([(1, 10)])
+
+
+class TestLabelSchema:
+    def test_declared_order_ranks(self):
+        schema = LabelSchema(["S", "P", "Sec", "D"])
+        assert schema.rank("S") == 0
+        assert schema.rank("D") == 3
+        assert schema.knows("P") and not schema.knows("X")
+
+    def test_unknown_label_raises(self):
+        schema = LabelSchema(["S"])
+        with pytest.raises(SchemaError):
+            schema.rank("zzz")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(SchemaError):
+            LabelSchema(["S", "S"])
+
+    def test_merged_group(self):
+        schema = LabelSchema(["S", ("itemize", "enumerate"), "D"])
+        assert schema.rank("itemize") == schema.rank("enumerate") == 1
+        assert schema.merged_groups() == [("itemize", "enumerate")]
+        assert not schema.is_acyclic()
+
+    def test_sort_labels_deepest_first(self):
+        schema = LabelSchema(["S", "P", "Sec", "D"])
+        assert schema.sort_labels(["D", "S", "Sec", "P"]) == ["S", "P", "Sec", "D"]
+
+    def test_sort_labels_unknown_sort_last(self):
+        schema = LabelSchema(["S", "P"])
+        assert schema.sort_labels(["X", "P", "S"]) == ["S", "P", "X"]
+
+    def test_infer_simple_document(self):
+        t = Tree.from_obj(
+            ("D", None, [("Sec", None, [("P", None, [("S", "x")])])])
+        )
+        schema = LabelSchema.infer([t])
+        assert schema.rank("S") < schema.rank("P") < schema.rank("Sec") < schema.rank("D")
+        assert schema.is_acyclic()
+
+    def test_infer_merges_cycles(self):
+        # itemize inside enumerate and enumerate inside itemize: a cycle.
+        t1 = Tree.from_obj(
+            ("D", None, [("itemize", None, [("enumerate", None, [("S", "a")])])])
+        )
+        t2 = Tree.from_obj(
+            ("D", None, [("enumerate", None, [("itemize", None, [("S", "b")])])])
+        )
+        schema = LabelSchema.infer([t1, t2])
+        assert schema.rank("itemize") == schema.rank("enumerate")
+        assert ("enumerate", "itemize") in schema.merged_groups()
+
+    def test_infer_empty(self):
+        schema = LabelSchema.infer([Tree()])
+        assert schema.labels() == []
+
+    def test_infer_self_nesting_label(self):
+        t = Tree.from_obj(("P", None, [("P", None, [("S", "x")])]))
+        schema = LabelSchema.infer([t])
+        assert schema.rank("S") < schema.rank("P")
+
+    def test_validate_tree_accepts_conforming(self):
+        schema = LabelSchema(["S", "P", "D"])
+        t = Tree.from_obj(("D", None, [("P", None, [("S", "x")])]))
+        schema.validate_tree(t)  # no raise
+
+    def test_validate_tree_rejects_violation(self):
+        schema = LabelSchema(["S", "P", "D"])
+        bad = Tree.from_obj(("P", None, [("D", None, [("S", "x")])]))
+        with pytest.raises(SchemaError):
+            schema.validate_tree(bad)
+
+    def test_document_schema_covers_ladiff_labels(self):
+        for label in ("S", "item", "list", "P", "SubSec", "Sec", "D"):
+            assert DOCUMENT_SCHEMA.knows(label)
+        assert DOCUMENT_SCHEMA.rank("S") < DOCUMENT_SCHEMA.rank("P")
+        assert DOCUMENT_SCHEMA.rank("item") < DOCUMENT_SCHEMA.rank("list")

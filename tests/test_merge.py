@@ -1,0 +1,210 @@
+"""Tests for three-way merge (repro.merge)."""
+
+import pytest
+
+from repro.core import Tree, trees_isomorphic
+from repro.merge import MergeError, three_way_merge
+from repro.workload import DocumentSpec, MutationEngine, generate_document
+
+
+def doc(*paragraphs):
+    return Tree.from_obj(
+        ("D", None, [
+            ("P", None, [("S", s) for s in sentences])
+            for sentences in paragraphs
+        ])
+    )
+
+
+@pytest.fixture
+def base():
+    return doc(
+        ["alpha sentence one", "alpha sentence two", "alpha sentence three"],
+        ["beta sentence one", "beta sentence two", "beta sentence three"],
+    )
+
+
+class TestCleanMerges:
+    def test_disjoint_updates_both_applied(self, base):
+        left = doc(
+            ["alpha sentence one EDITED", "alpha sentence two", "alpha sentence three"],
+            ["beta sentence one", "beta sentence two", "beta sentence three"],
+        )
+        right = doc(
+            ["alpha sentence one", "alpha sentence two", "alpha sentence three"],
+            ["beta sentence one", "beta sentence two EDITED", "beta sentence three"],
+        )
+        result = three_way_merge(base, left, right)
+        assert result.clean
+        values = [leaf.value for leaf in result.tree.leaves()]
+        assert "alpha sentence one EDITED" in values
+        assert "beta sentence two EDITED" in values
+
+    def test_disjoint_insert_and_delete(self, base):
+        left = doc(
+            ["alpha sentence one", "alpha sentence two", "alpha sentence three",
+             "alpha sentence four NEW"],
+            ["beta sentence one", "beta sentence two", "beta sentence three"],
+        )
+        right = doc(
+            ["alpha sentence one", "alpha sentence two", "alpha sentence three"],
+            ["beta sentence one", "beta sentence three"],
+        )
+        result = three_way_merge(base, left, right)
+        assert result.clean
+        values = [leaf.value for leaf in result.tree.leaves()]
+        assert "alpha sentence four NEW" in values
+        assert "beta sentence two" not in values
+
+    def test_identical_changes_no_conflict(self, base):
+        edited = doc(
+            ["alpha sentence one SAME", "alpha sentence two", "alpha sentence three"],
+            ["beta sentence one", "beta sentence two", "beta sentence three"],
+        )
+        result = three_way_merge(base, edited, edited.copy())
+        assert result.clean
+        values = [leaf.value for leaf in result.tree.leaves()]
+        assert values.count("alpha sentence one SAME") == 1
+
+    def test_both_delete_same_node(self, base):
+        smaller = doc(
+            ["alpha sentence two", "alpha sentence three"],
+            ["beta sentence one", "beta sentence two", "beta sentence three"],
+        )
+        result = three_way_merge(base, smaller, smaller.copy())
+        assert result.clean
+        assert trees_isomorphic(result.tree, smaller)
+
+    def test_no_changes_at_all(self, base):
+        result = three_way_merge(base, base.copy(), base.copy())
+        assert result.clean
+        assert trees_isomorphic(result.tree, base)
+
+    def test_right_only_changes(self, base):
+        right = doc(
+            ["alpha sentence one", "alpha sentence two", "alpha sentence three"],
+            ["beta sentence three", "beta sentence one", "beta sentence two"],
+        )
+        result = three_way_merge(base, base.copy(), right)
+        assert result.clean
+        assert trees_isomorphic(result.tree, right)
+
+
+class TestConflicts:
+    def test_update_update_conflict_left_wins(self, base):
+        left = doc(
+            ["alpha sentence one LEFT", "alpha sentence two", "alpha sentence three"],
+            ["beta sentence one", "beta sentence two", "beta sentence three"],
+        )
+        right = doc(
+            ["alpha sentence one RIGHT", "alpha sentence two", "alpha sentence three"],
+            ["beta sentence one", "beta sentence two", "beta sentence three"],
+        )
+        result = three_way_merge(base, left, right)
+        assert not result.clean
+        assert result.conflicts[0].kind == "update-update"
+        values = [leaf.value for leaf in result.tree.leaves()]
+        assert "alpha sentence one LEFT" in values
+        assert "alpha sentence one RIGHT" not in values
+
+    def test_delete_update_conflict(self, base):
+        left = doc(
+            ["alpha sentence two", "alpha sentence three"],  # deleted s1
+            ["beta sentence one", "beta sentence two", "beta sentence three"],
+        )
+        right = doc(
+            ["alpha sentence one RIGHT EDIT", "alpha sentence two", "alpha sentence three"],
+            ["beta sentence one", "beta sentence two", "beta sentence three"],
+        )
+        result = three_way_merge(base, left, right)
+        kinds = {c.kind for c in result.conflicts}
+        assert "delete-update" in kinds
+
+    def test_update_delete_conflict_keeps_left_version(self, base):
+        left = doc(
+            ["alpha sentence one LEFT EDIT", "alpha sentence two", "alpha sentence three"],
+            ["beta sentence one", "beta sentence two", "beta sentence three"],
+        )
+        right = doc(
+            ["alpha sentence two", "alpha sentence three"],
+            ["beta sentence one", "beta sentence two", "beta sentence three"],
+        )
+        result = three_way_merge(base, left, right)
+        kinds = {c.kind for c in result.conflicts}
+        assert "update-delete" in kinds
+        values = [leaf.value for leaf in result.tree.leaves()]
+        assert "alpha sentence one LEFT EDIT" in values
+
+    def test_conflict_carries_base_node_id(self, base):
+        left = doc(
+            ["alpha sentence one LEFT", "alpha sentence two", "alpha sentence three"],
+            ["beta sentence one", "beta sentence two", "beta sentence three"],
+        )
+        right = doc(
+            ["alpha sentence one RIGHT", "alpha sentence two", "alpha sentence three"],
+            ["beta sentence one", "beta sentence two", "beta sentence three"],
+        )
+        result = three_way_merge(base, left, right)
+        [conflict] = result.conflicts
+        assert conflict.base_node_id in base
+        assert base.get(conflict.base_node_id).value == "alpha sentence one"
+
+
+class TestMergeEdgeCases:
+    def test_empty_tree_rejected(self, base):
+        with pytest.raises(MergeError):
+            three_way_merge(Tree(), base, base.copy())
+
+    def test_accounting_fields(self, base):
+        right = doc(
+            ["alpha sentence one", "alpha sentence two", "alpha sentence three"],
+            ["beta sentence one", "beta sentence two", "beta sentence three",
+             "beta sentence four NEW"],
+        )
+        result = three_way_merge(base, base.copy(), right)
+        assert result.applied_right_ops == 1
+        assert result.skipped_right_ops == 0
+
+    def test_merge_of_mutated_documents(self):
+        """Random non-overlapping-ish edits from two engines merge and keep
+        most of both sides' changes."""
+        base = generate_document(401, DocumentSpec(sections=4))
+        left = MutationEngine(402).mutate(base, 6).tree
+        right = MutationEngine(403).mutate(base, 6).tree
+        result = three_way_merge(base, left, right)
+        # the merge completes and applies a majority of right's delta
+        total = result.applied_right_ops + result.skipped_right_ops
+        assert total > 0
+        assert result.applied_right_ops >= total * 0.5
+
+    def test_cad_scenario_from_the_paper(self):
+        """Architect and electrician edit disjoint components: clean merge
+        with both departments' changes present (§1)."""
+        base = Tree.from_obj(
+            ("building", "proj", [
+                ("room", "lobby", [
+                    ("component", "window double glazed 2x3"),
+                    ("component", "outlet 120V duplex north"),
+                ]),
+            ])
+        )
+        architect = Tree.from_obj(
+            ("building", "proj", [
+                ("room", "lobby", [
+                    ("component", "window double glazed 2x4"),
+                    ("component", "outlet 120V duplex north"),
+                ]),
+            ])
+        )
+        electrician = Tree.from_obj(
+            ("building", "proj", [
+                ("room", "lobby", [
+                    ("component", "window double glazed 2x3"),
+                    ("component", "outlet 240V single north"),
+                ]),
+            ])
+        )
+        result = three_way_merge(base, architect, electrician)
+        values = [leaf.value for leaf in result.tree.leaves()]
+        assert "window double glazed 2x4" in values
+        assert "outlet 240V single north" in values

@@ -1,0 +1,127 @@
+"""Tests for the OEM/JSON bridge (repro.oem)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oem import (
+    OemError,
+    data_to_tree,
+    json_diff,
+    tree_to_data,
+)
+
+# recursive JSON strategy (kept small for speed)
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-1000, 1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+class TestEncoding:
+    def test_scalar_round_trips(self):
+        for value in (None, True, False, 0, 42, -3, 2.5, "hello", "", "1"):
+            assert tree_to_data(data_to_tree(value)) == value
+
+    def test_type_distinctions_preserved(self):
+        # 1, 1.0, True, and "1" are different values and must stay distinct
+        encodings = {data_to_tree(v).root.value for v in (1, 1.0, True, "1")}
+        assert len(encodings) == 4
+        assert tree_to_data(data_to_tree(1)) == 1
+        assert tree_to_data(data_to_tree(True)) is True
+        assert type(tree_to_data(data_to_tree(1.0))) is float
+
+    def test_object_round_trip_preserves_order(self):
+        data = {"b": 1, "a": 2, "c": [3, {"x": None}]}
+        decoded = tree_to_data(data_to_tree(data))
+        assert decoded == data
+        assert list(decoded) == ["b", "a", "c"]
+
+    def test_array_round_trip(self):
+        data = [1, [2, 3], {"k": "v"}, "end"]
+        assert tree_to_data(data_to_tree(data)) == data
+
+    def test_member_labels_carry_keys(self):
+        tree = data_to_tree({"title": "x"})
+        labels = [n.label for n in tree.preorder()]
+        assert "member:title" in labels
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(OemError):
+            data_to_tree({1: "x"})
+
+    def test_unsupported_scalar_rejected(self):
+        with pytest.raises(OemError):
+            data_to_tree({"x": object()})
+
+    def test_empty_tree_decode_rejected(self):
+        from repro.core import Tree
+        with pytest.raises(OemError):
+            tree_to_data(Tree())
+
+    @given(json_values)
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_property(self, data):
+        assert tree_to_data(data_to_tree(data)) == data
+
+
+class TestJsonDiff:
+    def test_identical_values_empty_script(self):
+        data = {"a": [1, 2, 3], "b": {"c": "text"}}
+        result = json_diff(data, data)
+        assert result.script.is_empty()
+        assert result.verify()
+
+    def test_value_change_is_update(self):
+        result = json_diff({"price": 10}, {"price": 12})
+        assert result.verify()
+        summary = result.script.summary()
+        assert summary["update"] == 1 or (
+            summary["insert"] == 1 and summary["delete"] == 1
+        )
+
+    def test_list_reorder_detected_as_moves(self):
+        old = {"items": ["alpha item one", "beta item two", "gamma item three"]}
+        new = {"items": ["gamma item three", "alpha item one", "beta item two"]}
+        result = json_diff(old, new)
+        assert result.verify()
+        assert result.script.summary()["move"] >= 1
+        assert result.script.summary()["insert"] == 0
+
+    def test_member_added_and_removed(self):
+        old = {"keep": "same prose here", "drop": "bye"}
+        new = {"keep": "same prose here", "add": "hi"}
+        result = json_diff(old, new)
+        assert result.verify()
+        summary = result.script.summary()
+        assert summary["insert"] >= 1 and summary["delete"] >= 1
+
+    def test_patch_applies_to_equal_value(self):
+        old = {"a": [1, 2], "b": "some text here"}
+        new = {"a": [1, 2, 3], "b": "some new text here"}
+        result = json_diff(old, new)
+        patched = result.patch({"a": [1, 2], "b": "some text here"})
+        assert patched == new
+
+    def test_nested_move_across_objects(self):
+        old = {"left": ["shared payload string", "left only"], "right": []}
+        new = {"left": ["left only"], "right": ["shared payload string"]}
+        result = json_diff(old, new)
+        assert result.verify()
+
+    @given(json_values, json_values)
+    @settings(max_examples=60, deadline=None)
+    def test_diff_verifies_on_arbitrary_pairs(self, old, new):
+        result = json_diff(old, new)
+        assert result.verify()
