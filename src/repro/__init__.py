@@ -27,6 +27,8 @@ Public surface:
 * :mod:`repro.baselines` — Zhang–Shasha and flat line diff comparators.
 * :mod:`repro.workload` — synthetic trees/documents and mutation engines.
 * :mod:`repro.analysis` — edit-distance metrics and the §8 instrumentation.
+* :mod:`repro.service` — concurrent diff engine with Merkle digests,
+  result caching, and service metrics (the §1 warehouse serving layer).
 """
 
 from .core.node import Node
@@ -40,11 +42,14 @@ from .matching.fastmatch import fast_match
 from .matching.matching import Matching
 from .matching.simple import match
 from .merge import MergeResult, three_way_merge
+from .service.engine import DiffEngine
+from .service.digest import tree_fingerprint
 from .store import VersionStore
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "DiffEngine",
     "DiffResult",
     "EditScript",
     "MatchConfig",
@@ -59,5 +64,6 @@ __all__ = [
     "match",
     "three_way_merge",
     "tree_diff",
+    "tree_fingerprint",
     "trees_isomorphic",
 ]

@@ -8,21 +8,27 @@ Subcommands
              print the edit script in paper notation (or JSON).
 ``stats``    Diff two document files and report the §8 measurements:
              d, e, e/d, comparison counts, and the analytical bound.
+``batch``    Diff a manifest of old/new tree-file pairs through the
+             concurrent :class:`repro.service.DiffEngine` and print a
+             service-metrics summary.
 
 Examples::
 
     repro-diff ladiff old.tex new.tex -o marked_up.tex
     repro-diff script old.sexpr new.sexpr --json
     repro-diff stats old.tex new.tex
+    repro-diff batch pairs.manifest --workers 8 --save-cache warm.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .analysis import fastmatch_bound, result_distances, tree_pair_sizes
 from .core.serialization import tree_from_dict, tree_from_sexpr
 from .core.tree import Tree
@@ -31,6 +37,7 @@ from .editscript.generator import generate_edit_script
 from .ladiff.pipeline import default_match_config, ladiff
 from .matching.criteria import MatchingStats
 from .matching.fastmatch import fast_match
+from .service.engine import DiffEngine
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,7 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Change detection in hierarchically structured information "
         "(Chawathe et al., SIGMOD 1996).",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command")
 
     p_ladiff = sub.add_parser("ladiff", help="diff two documents, emit mark-up")
     p_ladiff.add_argument("old", help="old document file")
@@ -84,17 +94,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument(
         "--format", choices=("latex", "html", "text"), default="latex"
     )
+
+    p_batch = sub.add_parser(
+        "batch", help="diff a manifest of tree-file pairs through the DiffEngine"
+    )
+    p_batch.add_argument(
+        "manifest",
+        help="file with one 'OLD NEW' pair of tree files (.sexpr/.json) per "
+        "line; '#' starts a comment; paths are relative to the manifest",
+    )
+    p_batch.add_argument(
+        "--workers", type=int, default=4, help="concurrent jobs (default 4)"
+    )
+    p_batch.add_argument(
+        "--cache-size", type=int, default=256,
+        help="result-cache capacity; 0 disables caching (default 256)",
+    )
+    p_batch.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+    p_batch.add_argument(
+        "--retries", type=int, default=0, help="retries per failed job (default 0)"
+    )
+    p_batch.add_argument(
+        "--warm-cache", default=None, metavar="PATH",
+        help="load a cache spill file before diffing",
+    )
+    p_batch.add_argument(
+        "--save-cache", default=None, metavar="PATH",
+        help="spill the cache to PATH after diffing (for warm restarts)",
+    )
+    p_batch.add_argument(
+        "--json", action="store_true",
+        help="emit job results and metrics as JSON instead of text",
+    )
+    p_batch.add_argument(
+        "-t", type=float, default=0.5, help="match threshold t (default 0.5)"
+    )
+    p_batch.add_argument(
+        "-f", type=float, default=0.6, help="leaf threshold f (default 0.6)"
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
     if args.command == "ladiff":
         return _cmd_ladiff(args)
     if args.command == "script":
         return _cmd_script(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -174,6 +230,103 @@ def _cmd_stats(args) -> int:
     if measured:
         print(f"bound/measured:       {bound / measured:.1f}x")
     return 0
+
+
+def _parse_manifest(path: str) -> List[tuple]:
+    """Read ``OLD NEW`` pairs; returns ``(old_path, new_path, job_id)`` rows."""
+    base = os.path.dirname(os.path.abspath(path))
+    rows: List[tuple] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'OLD NEW', got {line!r}"
+                )
+            old_path, new_path = (
+                part if os.path.isabs(part) else os.path.join(base, part)
+                for part in parts
+            )
+            job_id = f"{lineno}:{os.path.basename(parts[0])}->{os.path.basename(parts[1])}"
+            rows.append((old_path, new_path, job_id))
+    return rows
+
+
+def _tree_loader(path: str):
+    """A zero-arg loader; deferring the parse keeps failures inside the job."""
+    return lambda: _load_tree(path)
+
+
+def _cmd_batch(args) -> int:
+    try:
+        rows = _parse_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = default_match_config(t=args.t, f=args.f)
+    try:
+        engine = DiffEngine(
+            workers=args.workers,
+            config=config,
+            cache=args.cache_size,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.warm_cache and engine.cache is not None:
+            engine.cache.warm(args.warm_cache)
+        results = engine.map_pairs(
+            (_tree_loader(old), _tree_loader(new), job_id)
+            for old, new, job_id in rows
+        )
+        if args.save_cache and engine.cache is not None:
+            engine.cache.save(args.save_cache)
+    finally:
+        engine.close()
+
+    failed = sum(1 for r in results if not r.ok)
+    if args.json:
+        print(json.dumps(
+            {
+                "jobs": [
+                    {
+                        "job_id": r.job_id,
+                        "status": r.status,
+                        "source": r.source,
+                        "operations": r.operations,
+                        "cost": r.cost,
+                        "wall_ms": round(r.wall_ms, 3),
+                        "error": r.error,
+                    }
+                    for r in results
+                ],
+                "metrics": engine.metrics.snapshot(),
+                "cache": engine.cache.stats() if engine.cache is not None else None,
+            },
+            indent=2,
+        ))
+        return 1 if failed else 0
+
+    for r in results:
+        line = (
+            f"{r.job_id:<32} {r.status:<8} "
+            f"{(r.source or '-'):<9} ops={r.operations:<4} "
+            f"cost={r.cost:<8.1f} {r.wall_ms:8.1f}ms"
+        )
+        if r.error:
+            line += f"  {r.error}"
+        print(line)
+    cache_stats = engine.cache.stats() if engine.cache is not None else None
+    print(engine.metrics.render(cache_stats))
+    if failed:
+        print(f"{failed} of {len(results)} jobs failed", file=sys.stderr)
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,141 @@
+"""Content-addressed Merkle fingerprints for subtrees.
+
+The serving layer (:mod:`repro.service`) needs a cheap way to recognize
+that two snapshots — or two subtrees — are identical without running any
+matching algorithm. Each node gets a digest of ``(label, value, child
+digests)``, computed bottom-up in one post-order pass, so:
+
+* equal **root** digests imply the trees are isomorphic (identical up to
+  node identifiers, Section 3.1's equivalence) and the engine can
+  short-circuit to an empty edit script;
+* equal **subtree** digests give an O(1) ``equal``-subtree fast path that
+  matching layers can consult instead of walking both subtrees.
+
+The converse direction is exact for the value types the library uses in
+practice (strings, numbers of one type, ``None``): the encoding is
+injective, so isomorphic trees always hash equal. The one caveat is
+cross-type equality — Python says ``1 == 1.0`` but the digests differ —
+which only matters if a corpus mixes numeric types for the same logical
+value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from ..core.node import Node
+from ..core.tree import Tree
+
+#: Digest width in bytes. 16 bytes (128 bits) keeps indexes small while
+#: making accidental collisions on realistic corpora vanishingly unlikely.
+DIGEST_SIZE = 16
+
+#: Digest assigned to the empty tree.
+EMPTY_TREE_DIGEST = hashlib.blake2b(b"empty-tree", digest_size=DIGEST_SIZE).digest()
+
+_LEN = struct.Struct(">I")
+
+
+def _encode_field(data: bytes) -> bytes:
+    """Length-prefix a field so concatenated fields cannot be ambiguous."""
+    return _LEN.pack(len(data)) + data
+
+
+def _encode_value(value: Any) -> bytes:
+    """Deterministic byte encoding of a node value.
+
+    JSON with sorted keys covers the library's interchange types; anything
+    non-JSON falls back to ``repr`` with a distinct tag so the two spaces
+    cannot collide.
+    """
+    if value is None:
+        return b"\x00"
+    try:
+        return b"j" + json.dumps(
+            value, sort_keys=True, ensure_ascii=False, separators=(",", ":")
+        ).encode("utf-8", "surrogatepass")
+    except (TypeError, ValueError):
+        return b"r" + repr(value).encode("utf-8", "surrogatepass")
+
+
+def _node_digest(node: Node, child_digests: bytes) -> bytes:
+    hasher = hashlib.blake2b(digest_size=DIGEST_SIZE)
+    hasher.update(_encode_field(str(node.label).encode("utf-8", "surrogatepass")))
+    hasher.update(_encode_field(_encode_value(node.value)))
+    hasher.update(child_digests)
+    return hasher.digest()
+
+
+class DigestIndex:
+    """Per-subtree Merkle digests for one tree, keyed by node identifier."""
+
+    __slots__ = ("by_id", "root")
+
+    def __init__(self, by_id: Dict[Any, bytes], root: bytes) -> None:
+        self.by_id = by_id
+        self.root = root
+
+    @property
+    def root_hex(self) -> str:
+        """Hex fingerprint of the whole tree."""
+        return self.root.hex()
+
+    def get(self, node_id: Any) -> bytes:
+        """Digest of the subtree rooted at *node_id*."""
+        return self.by_id[node_id]
+
+    def subtree_hex(self, node_id: Any) -> str:
+        return self.by_id[node_id].hex()
+
+    def subtrees_equal(self, node_id: Any, other: "DigestIndex", other_id: Any) -> bool:
+        """O(1) isomorphism check between two indexed subtrees.
+
+        This is the ``equal``-subtree fast path: when it returns True the
+        subtrees are identical up to node identifiers, so a matcher may
+        pair them wholesale without comparing leaves.
+        """
+        return self.by_id[node_id] == other.by_id[other_id]
+
+    def __len__(self) -> int:
+        return len(self.by_id)
+
+
+def compute_digests(tree: Tree) -> DigestIndex:
+    """Compute per-subtree digests in one iterative post-order pass."""
+    by_id: Dict[Any, bytes] = {}
+    if tree.root is None:
+        return DigestIndex(by_id, EMPTY_TREE_DIGEST)
+    for node in tree.postorder():
+        children = b"".join(by_id[child.id] for child in node.children)
+        by_id[node.id] = _node_digest(node, children)
+    return DigestIndex(by_id, by_id[tree.root.id])
+
+
+def attach_digests(tree: Tree) -> DigestIndex:
+    """Compute digests and attach the index to the tree as ``tree.digests``.
+
+    The attachment is a plain attribute: any later mutation of the tree
+    silently invalidates it, so callers on the mutation path should either
+    recompute or use :func:`compute_digests` directly. Serving-layer code
+    treats snapshots as immutable, where attachment is safe and lets the
+    index be computed once per snapshot.
+    """
+    index = compute_digests(tree)
+    tree.digests = index  # type: ignore[attr-defined]
+    return index
+
+
+def cached_digests(tree: Tree) -> DigestIndex:
+    """Return ``tree.digests`` when present, else compute (without attaching)."""
+    index: Optional[DigestIndex] = getattr(tree, "digests", None)
+    if isinstance(index, DigestIndex):
+        return index
+    return compute_digests(tree)
+
+
+def tree_fingerprint(tree: Tree) -> str:
+    """Hex Merkle fingerprint of a whole tree (root digest)."""
+    return cached_digests(tree).root_hex

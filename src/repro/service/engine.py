@@ -1,0 +1,423 @@
+"""DiffEngine: concurrent, cached, measured tree diffing.
+
+The paper's warehouse scenario (§1) receives periodic snapshot dumps and
+must compute deltas for *many* pairs, most of them near-identical. The
+engine wraps :func:`repro.diff.tree_diff` with the three things that
+workload needs:
+
+1. **Merkle short-circuits** — equal root digests mean the snapshots are
+   isomorphic, so the job completes with an empty script without running
+   any matching (:mod:`repro.service.digest`).
+2. **Result caching** — scripts are canonicalized and cached by content
+   digests, so re-diffing content the service has already seen is a
+   dictionary lookup (:mod:`repro.service.cache`).
+3. **Fan-out with isolation** — jobs run on a thread pool with per-job
+   timeout, bounded retry, and per-job error capture: one malformed
+   document fails its own job, never the batch.
+
+CPython's GIL serializes pure-Python compute, so the thread pool alone
+overlaps only digesting/caching with compute. For real multi-core scaling
+pass ``executor="process"``: orchestration (digests, cache) stays in
+threads, while the heavy ``tree_diff`` call is shipped to a
+``ProcessPoolExecutor`` as serialized trees. Process mode rebuilds a
+default :class:`~repro.matching.criteria.MatchConfig` in the children from
+``(f, t, flags)``, so custom comparator registries require thread mode.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.isomorphism import trees_isomorphic
+from ..core.serialization import tree_from_dict, tree_to_dict
+from ..core.tree import Tree
+from ..diff import tree_diff
+from ..editscript.script import EditScript
+from ..matching.criteria import MatchConfig
+from .cache import (
+    ScriptCache,
+    UncacheableScriptError,
+    canonicalize_script,
+    instantiate_script,
+)
+from .digest import cached_digests, tree_fingerprint
+from .metrics import ServiceMetrics
+
+#: A job input: a materialized tree, or a zero-argument loader called inside
+#: the job so that parse failures are captured per-job.
+TreeSource = Union[Tree, Callable[[], Tree]]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one diff job, including provenance and timing."""
+
+    job_id: str
+    status: str = "ok"  #: ``"ok"`` | ``"error"`` | ``"timeout"``
+    #: Where the script came from: ``"computed"``, ``"cache"``, ``"digest"``
+    #: (short-circuit on equal fingerprints), or ``None`` on failure.
+    source: Optional[str] = None
+    script: Optional[EditScript] = None
+    wrapped: bool = False
+    dummy_id: Any = None
+    operations: int = 0
+    cost: float = 0.0
+    wall_ms: float = 0.0
+    attempts: int = 0
+    error: Optional[str] = None
+    old_digest: Optional[str] = None
+    new_digest: Optional[str] = None
+    summary: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def apply_to(self, old_tree: Tree) -> Tree:
+        """Replay the script on a copy of *old_tree* (handles dummy roots)."""
+        if self.script is None:
+            raise ValueError(f"job {self.job_id} has no script (status={self.status})")
+        from ..editscript.generator import _strip_dummy_root, _wrap_with_dummy_root
+
+        work = old_tree.copy()
+        if self.wrapped:
+            work = _wrap_with_dummy_root(work, self.dummy_id)
+        work = self.script.apply_to(work, in_place=True)
+        if self.wrapped:
+            work = _strip_dummy_root(work)
+        return work
+
+    def verify(self, old_tree: Tree, new_tree: Tree) -> bool:
+        """True when replaying the script on *old_tree* yields *new_tree*."""
+        return trees_isomorphic(self.apply_to(old_tree), new_tree)
+
+
+def config_key(
+    config: Optional[MatchConfig], algorithm: str, postprocess: bool
+) -> str:
+    """Stable cache-key component for the matching configuration."""
+    config = config if config is not None else MatchConfig()
+    return (
+        f"f={config.f};t={config.t}"
+        f";mei={config.match_empty_internals};amr={config.always_match_roots}"
+        f";reg={type(config.registry).__name__}"
+        f";alg={algorithm};post={postprocess}"
+    )
+
+
+def _process_diff(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool worker: rebuild the pair, diff, return a canonical payload.
+
+    Module-level so it pickles; receives plain dicts (not Tree objects) to
+    keep the wire format explicit and version-independent.
+    """
+    old = tree_from_dict(request["old"])
+    new = tree_from_dict(request["new"])
+    config = MatchConfig(
+        f=request["f"],
+        t=request["t"],
+        match_empty_internals=request["mei"],
+        always_match_roots=request["amr"],
+    )
+    result = tree_diff(
+        old,
+        new,
+        config=config,
+        algorithm=request["algorithm"],
+        postprocess=request["postprocess"],
+    )
+    return canonicalize_script(
+        result.script, old, result.edit.wrapped, result.edit.dummy_t1_id
+    )
+
+
+class DiffEngine:
+    """Serving layer: fan tree pairs out, memoize, and measure.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent jobs (and process-pool width in process mode).
+    config, algorithm, postprocess:
+        Passed through to :func:`repro.diff.tree_diff` for every job.
+    cache:
+        A :class:`ScriptCache`, an int capacity for a fresh one, or ``None``
+        to disable result caching (digest short-circuits still apply).
+    metrics:
+        Shared :class:`ServiceMetrics`; a fresh one is created when omitted.
+    timeout:
+        Per-job seconds allowed when collecting batch results; a job that
+        exceeds it is reported as ``status="timeout"`` (collection-side —
+        the worker is not forcibly killed, it just no longer counts).
+    retries:
+        How many times a *failed* computation is retried before the job is
+        reported as ``status="error"``.
+    executor:
+        ``"thread"`` (default) or ``"process"`` for multi-core compute.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        config: Optional[MatchConfig] = None,
+        algorithm: str = "fast",
+        postprocess: bool = True,
+        cache: Union[ScriptCache, int, None] = 256,
+        metrics: Optional[ServiceMetrics] = None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        executor: str = "thread",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if executor not in ("thread", "process"):
+            raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.workers = workers
+        self.config = config
+        self.algorithm = algorithm
+        self.postprocess = postprocess
+        if isinstance(cache, int):
+            cache = ScriptCache(cache) if cache > 0 else None
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.timeout = timeout
+        self.retries = retries
+        self.executor = executor
+        self._config_key = config_key(config, algorithm, postprocess)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._procs: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "DiffEngine":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pools (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._procs is not None:
+            self._procs.shutdown(wait=True)
+            self._procs = None
+
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-diff"
+            )
+        return self._pool
+
+    def _process_pool(self) -> ProcessPoolExecutor:
+        if self._procs is None:
+            self._procs = ProcessPoolExecutor(max_workers=self.workers)
+        return self._procs
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fingerprint(tree: Tree) -> str:
+        """Merkle fingerprint of a snapshot (see :mod:`repro.service.digest`)."""
+        return tree_fingerprint(tree)
+
+    def diff(self, old: TreeSource, new: TreeSource, job_id: str = "diff") -> JobResult:
+        """Run one job synchronously in the calling thread."""
+        return self._run_job(job_id, old, new)
+
+    def submit(self, old: TreeSource, new: TreeSource, job_id: str = "job") -> "Future[JobResult]":
+        """Schedule one job on the pool; the future resolves to a JobResult.
+
+        Failures are captured *inside* the result, so ``future.result()``
+        only raises on timeout (when the caller passes one) or shutdown.
+        """
+        return self._thread_pool().submit(self._run_job, job_id, old, new)
+
+    def map_pairs(
+        self,
+        pairs: Iterable[Union[Tuple[TreeSource, TreeSource], Tuple[TreeSource, TreeSource, str]]],
+    ) -> List[JobResult]:
+        """Diff every ``(old, new[, job_id])`` pair; one result per pair, in order.
+
+        Every pair yields exactly one :class:`JobResult`; malformed inputs
+        or compute failures surface as ``status="error"`` results rather
+        than exceptions.
+        """
+        jobs: List[Tuple[str, TreeSource, TreeSource]] = []
+        for index, pair in enumerate(pairs):
+            if len(pair) == 3:
+                old, new, job_id = pair  # type: ignore[misc]
+            else:
+                old, new = pair  # type: ignore[misc]
+                job_id = f"pair-{index}"
+            jobs.append((str(job_id), old, new))
+        if not jobs:
+            return []
+        pool = self._thread_pool()
+        futures = [pool.submit(self._run_job, *job) for job in jobs]
+        results: List[JobResult] = []
+        for (job_id, _, _), future in zip(jobs, futures):
+            try:
+                results.append(future.result(timeout=self.timeout))
+            except FutureTimeoutError:
+                self.metrics.incr("jobs_timed_out")
+                results.append(
+                    JobResult(
+                        job_id=job_id,
+                        status="timeout",
+                        wall_ms=(self.timeout or 0.0) * 1000.0,
+                        error=f"job exceeded {self.timeout}s collection timeout",
+                    )
+                )
+        return results
+
+    def diff_corpus(self, snapshots: Sequence[Tree]) -> List[JobResult]:
+        """Diff consecutive snapshots of a version chain (N trees → N-1 jobs)."""
+        return self.map_pairs(
+            (snapshots[i], snapshots[i + 1], f"rev-{i}->{i + 1}")
+            for i in range(len(snapshots) - 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+    def _run_job(self, job_id: str, old: TreeSource, new: TreeSource) -> JobResult:
+        start = time.perf_counter()
+        self.metrics.incr("jobs_submitted")
+        result = JobResult(job_id=job_id)
+        try:
+            old_tree = old() if callable(old) else old
+            new_tree = new() if callable(new) else new
+            if not isinstance(old_tree, Tree) or not isinstance(new_tree, Tree):
+                raise TypeError("job inputs must be Tree objects or loaders returning them")
+            self._diff_into(result, old_tree, new_tree)
+        except Exception as exc:
+            result.status = "error"
+            result.source = None
+            result.script = None
+            result.error = f"{type(exc).__name__}: {exc}"
+        result.wall_ms = (time.perf_counter() - start) * 1000.0
+        if result.status == "ok":
+            self.metrics.incr("jobs_succeeded")
+            self.metrics.incr("ops_emitted", result.operations)
+        else:
+            self.metrics.incr("jobs_failed")
+        self.metrics.observe_wall(result.wall_ms)
+        return result
+
+    def _diff_into(self, result: JobResult, old_tree: Tree, new_tree: Tree) -> None:
+        old_index = cached_digests(old_tree)
+        new_index = cached_digests(new_tree)
+        result.old_digest = old_index.root_hex
+        result.new_digest = new_index.root_hex
+
+        # 1. Merkle short-circuit: identical snapshots need no matching.
+        if old_index.root == new_index.root:
+            self.metrics.incr("digest_short_circuits")
+            result.source = "digest"
+            result.script = EditScript()
+            result.summary = result.script.summary()
+            result.attempts = 0
+            return
+
+        # 2. Cache lookup by content digests + config.
+        key = (result.old_digest, result.new_digest, self._config_key)
+        if self.cache is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                self.metrics.incr("cache_hits")
+                script, wrapped, dummy_id = instantiate_script(payload, old_tree)
+                result.source = "cache"
+                result.script = script
+                result.wrapped = wrapped
+                result.dummy_id = dummy_id
+                result.operations = len(script)
+                result.cost = payload.get("cost", script.cost())
+                result.summary = dict(payload.get("summary", script.summary()))
+                return
+            self.metrics.incr("cache_misses")
+
+        # 3. Compute (with bounded retry), then populate the cache.
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            result.attempts = attempt + 1
+            if attempt:
+                self.metrics.incr("jobs_retried")
+            try:
+                payload = self._compute(old_tree, new_tree)
+                break
+            except Exception as exc:
+                last_error = exc
+        else:
+            raise last_error  # type: ignore[misc]
+
+        script, wrapped, dummy_id = self._bind(payload, old_tree)
+        result.source = "computed"
+        result.script = script
+        result.wrapped = wrapped
+        result.dummy_id = dummy_id
+        result.operations = len(script)
+        result.cost = payload["cost"]
+        result.summary = dict(payload["summary"])
+        if self.cache is not None:
+            self.cache.put(key, payload)
+
+    def _compute(self, old_tree: Tree, new_tree: Tree) -> Dict[str, Any]:
+        """Produce the canonical payload for one pair, locally or remotely."""
+        if self.executor == "process":
+            config = self.config if self.config is not None else MatchConfig()
+            request = {
+                "old": tree_to_dict(old_tree),
+                "new": tree_to_dict(new_tree),
+                "f": config.f,
+                "t": config.t,
+                "mei": config.match_empty_internals,
+                "amr": config.always_match_roots,
+                "algorithm": self.algorithm,
+                "postprocess": self.postprocess,
+            }
+            return self._process_pool().submit(_process_diff, request).result()
+        diffed = tree_diff(
+            old_tree,
+            new_tree,
+            config=self.config,
+            algorithm=self.algorithm,
+            postprocess=self.postprocess,
+        )
+        try:
+            return canonicalize_script(
+                diffed.script,
+                old_tree,
+                diffed.edit.wrapped,
+                diffed.edit.dummy_t1_id,
+            )
+        except UncacheableScriptError:
+            # Fall back to an uncanonicalized payload bound to this pair's
+            # real identifiers; still correct for this job, never cached.
+            return {
+                "records": diffed.script.to_dicts(),
+                "wrapped": diffed.edit.wrapped,
+                "dummy_id": diffed.edit.dummy_t1_id,
+                "cost": diffed.script.cost(),
+                "summary": diffed.script.summary(),
+                "_unportable": True,
+            }
+
+    def _bind(self, payload: Dict[str, Any], old_tree: Tree) -> Tuple[EditScript, bool, Any]:
+        if payload.get("_unportable"):
+            return (
+                EditScript.from_dicts(payload["records"]),
+                bool(payload["wrapped"]),
+                payload.get("dummy_id"),
+            )
+        return instantiate_script(payload, old_tree)

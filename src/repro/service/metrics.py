@@ -1,0 +1,133 @@
+"""Counters and latency histograms for the serving layer.
+
+The §8 instrumentation (:class:`repro.matching.criteria.MatchingStats`)
+counts algorithmic work inside one diff; this module measures the *service*
+around it: jobs processed, cache effectiveness, digest short-circuits,
+operations emitted, and wall-time percentiles. Everything is thread-safe
+(the engine records from worker threads) and exports a plain-dict
+:meth:`ServiceMetrics.snapshot` consumed by the CLI and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+#: Counter names the engine maintains; unknown names are allowed (the
+#: metrics object is schemaless) but these are always present in snapshots.
+STANDARD_COUNTERS = (
+    "jobs_submitted",
+    "jobs_succeeded",
+    "jobs_failed",
+    "jobs_timed_out",
+    "jobs_retried",
+    "cache_hits",
+    "cache_misses",
+    "digest_short_circuits",
+    "ops_emitted",
+)
+
+
+class LatencyHistogram:
+    """Wall-time samples with percentile export.
+
+    Keeps a bounded ring of recent samples (plus exact count/total so the
+    mean never loses precision); percentiles are computed over the retained
+    window, which is the standard recent-window approximation.
+    """
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self._max = max_samples
+        self._samples: List[float] = []
+        self._next = 0  # ring cursor once the window is full
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if len(self._samples) < self._max:
+            self._samples.append(value)
+        else:
+            self._samples[self._next] = value
+            self._next = (self._next + 1) % self._max
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The *p*-th percentile (0-100) of the retained window."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self._samples)
+        # Nearest-rank on the retained window.
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[int(rank)]
+
+
+class ServiceMetrics:
+    """Thread-safe counters + a wall-time histogram for the diff engine."""
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in STANDARD_COUNTERS}
+        self.wall_ms = LatencyHistogram(max_samples)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe_wall(self, milliseconds: float) -> None:
+        with self._lock:
+            self.wall_ms.observe(milliseconds)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters = {name: 0 for name in STANDARD_COUNTERS}
+            self.wall_ms = LatencyHistogram(self.wall_ms._max)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Export counters and latency stats as a JSON-friendly dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            wall = {
+                "count": self.wall_ms.count,
+                "mean_ms": round(self.wall_ms.mean(), 3),
+                "p50_ms": round(self.wall_ms.percentile(50), 3),
+                "p95_ms": round(self.wall_ms.percentile(95), 3),
+                "max_ms": round(self.wall_ms.percentile(100), 3),
+            }
+        return {"counters": counters, "wall_time": wall}
+
+    def render(self, cache_stats: Optional[Dict[str, int]] = None) -> str:
+        """Human-readable summary block (used by ``repro-diff batch``)."""
+        snap = self.snapshot()
+        counters = snap["counters"]
+        wall = snap["wall_time"]
+        lines = ["-- service metrics --"]
+        for name in STANDARD_COUNTERS:
+            lines.append(f"{name + ':':<24}{counters.get(name, 0)}")
+        for name in sorted(set(counters) - set(STANDARD_COUNTERS)):
+            lines.append(f"{name + ':':<24}{counters[name]}")
+        lines.append(
+            "wall time (ms):         "
+            f"n={wall['count']} mean={wall['mean_ms']} "
+            f"p50={wall['p50_ms']} p95={wall['p95_ms']}"
+        )
+        if cache_stats is not None:
+            lines.append(
+                "cache:                  "
+                f"size={cache_stats['size']}/{cache_stats['capacity']} "
+                f"hits={cache_stats['hits']} misses={cache_stats['misses']} "
+                f"evictions={cache_stats['evictions']}"
+            )
+        return "\n".join(lines)

@@ -8,7 +8,8 @@ copies. :class:`VersionStore` realizes that pattern on top of the library:
   script (plus its inverse for backward travel), and keeps only the newest
   snapshot materialized;
 * ``checkout(version)`` reconstructs any historical version by replaying
-  inverse deltas back from the head;
+  inverse deltas back from the head (memoized in a small LRU so repeated
+  historical reads don't re-replay the chain);
 * ``delta(a, b)`` returns the composed operation sequence between two
   versions;
 * ``save(path)`` / ``load(path)`` persist the whole history as JSON.
@@ -21,8 +22,12 @@ scenario calls for.
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .service.engine import DiffEngine
 
 from .core.errors import ReproError
 from .core.isomorphism import trees_isomorphic
@@ -52,8 +57,38 @@ class CommitInfo:
 class VersionStore:
     """Linear version history stored as head snapshot + delta chain."""
 
-    def __init__(self, config: Optional[MatchConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[MatchConfig] = None,
+        engine: Optional["DiffEngine"] = None,
+        checkout_cache_size: int = 8,
+    ) -> None:
+        """Create an empty store.
+
+        Parameters
+        ----------
+        config:
+            Matching configuration used by every commit's diff.
+        engine:
+            Optional :class:`repro.service.DiffEngine`. When given, commits
+            take the digest path: the incoming snapshot is fingerprinted
+            and a commit whose root digest equals the head's is skipped
+            entirely (no matching, no new version), with the short-circuit
+            recorded in the engine's metrics.
+        checkout_cache_size:
+            Bound of the materialized-version LRU used by
+            :meth:`checkout`; ``0`` disables the memo.
+        """
+        if checkout_cache_size < 0:
+            raise ValueError("checkout_cache_size must be >= 0")
         self._config = config
+        self._engine = engine
+        self._head_digest: Optional[str] = None
+        self._checkout_cache: "OrderedDict[int, Tree]" = OrderedDict()
+        self._checkout_cache_size = checkout_cache_size
+        #: cache accounting for tests and capacity tuning
+        self.checkout_hits = 0
+        self.checkout_misses = 0
         self._head: Optional[Tree] = None
         #: forward[i] transforms version i into version i+1
         self._forward: List[EditScript] = []
@@ -73,13 +108,35 @@ class VersionStore:
 
         The input tree is copied, so later caller-side mutation cannot
         corrupt the history.
+
+        When the store was built with a :class:`~repro.service.DiffEngine`,
+        a snapshot whose Merkle root digest equals the head's is recognized
+        as unchanged *before* any matching runs: no version is appended and
+        the returned info is the head's, with ``metadata["unchanged"]``
+        set. The short-circuit is counted in the engine's metrics.
         """
         snapshot = tree.copy()
         if self._head is None:
             info = CommitInfo(version=0, message=message, metadata=metadata)
             self._head = snapshot
             self._info.append(info)
+            if self._engine is not None:
+                self._head_digest = self._engine.fingerprint(self._head)
             return info
+        if self._engine is not None:
+            incoming_digest = self._engine.fingerprint(snapshot)
+            if self._head_digest is None:
+                self._head_digest = self._engine.fingerprint(self._head)
+            if incoming_digest == self._head_digest:
+                self._engine.metrics.incr("digest_short_circuits")
+                head_info = self._info[-1]
+                return CommitInfo(
+                    version=head_info.version,
+                    message=message,
+                    operations=0,
+                    cost=0.0,
+                    metadata={**metadata, "unchanged": True},
+                )
         result = tree_diff(self._head, snapshot, config=self._config)
         forward = result.script
 
@@ -104,6 +161,8 @@ class VersionStore:
         self._wrapped_ids.append(result.edit.dummy_t1_id)
         self._head = result.edit.replay(self._head)
         self._info.append(info)
+        if self._engine is not None:
+            self._head_digest = self._engine.fingerprint(self._head)
         return info
 
     def _wrapped_head(self, edit_result) -> Tree:
@@ -137,16 +196,42 @@ class VersionStore:
         return self._head.copy()
 
     def checkout(self, version: int) -> Tree:
-        """Reconstruct a historical version by replaying inverse deltas."""
+        """Reconstruct a historical version by replaying inverse deltas.
+
+        Materialized versions are memoized in a bounded LRU (committed
+        versions are immutable, so entries never go stale). A miss replays
+        from the nearest *newer* materialization — the head, or a cached
+        version — instead of always walking the whole chain from the head.
+        """
         if not self._info:
             raise VersionStoreError("the store is empty")
         if not 0 <= version <= self.head_version:
             raise VersionStoreError(
                 f"unknown version {version}; store has 0..{self.head_version}"
             )
-        tree = self._head.copy()
-        for index in range(len(self._backward) - 1, version - 1, -1):
+        if version == self.head_version:
+            return self._head.copy()
+        if self._checkout_cache_size:
+            cached = self._checkout_cache.get(version)
+            if cached is not None:
+                self._checkout_cache.move_to_end(version)
+                self.checkout_hits += 1
+                return cached.copy()
+            self.checkout_misses += 1
+        start = self.head_version
+        tree = self._head
+        for candidate in self._checkout_cache:
+            if version < candidate < start:
+                start = candidate
+                tree = self._checkout_cache[candidate]
+        tree = tree.copy()
+        for index in range(start - 1, version - 1, -1):
             tree = self._apply_leg(tree, index, backward=True)
+        if self._checkout_cache_size:
+            self._checkout_cache[version] = tree.copy()
+            self._checkout_cache.move_to_end(version)
+            while len(self._checkout_cache) > self._checkout_cache_size:
+                self._checkout_cache.popitem(last=False)
         return tree
 
     def forward_delta(self, version: int) -> EditScript:

@@ -109,10 +109,92 @@ class TestStatsCommand:
 
 
 class TestParser:
-    def test_missing_command_exits(self):
-        with pytest.raises(SystemExit):
-            main([])
+    def test_missing_command_prints_help_and_exits_2(self, capsys):
+        # No subcommand is a usage error, not a crash: help on stdout, rc 2.
+        assert main([]) == 2
+        out = capsys.readouterr().out
+        assert "usage: repro-diff" in out
+        assert "batch" in out
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["teleport", "a", "b"])
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro-diff {__version__}" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    @pytest.fixture
+    def manifest(self, tmp_path):
+        (tmp_path / "a.sexpr").write_text(
+            '(D (P (S "alpha one") (S "beta two")))', encoding="utf-8"
+        )
+        (tmp_path / "b.sexpr").write_text(
+            '(D (P (S "beta two") (S "alpha one")))', encoding="utf-8"
+        )
+        (tmp_path / "bad.sexpr").write_text('(D (P (S "unclosed"', encoding="utf-8")
+        path = tmp_path / "pairs.manifest"
+        path.write_text(
+            "# comment line\n"
+            "a.sexpr b.sexpr\n"
+            "a.sexpr a.sexpr\n"
+            "a.sexpr b.sexpr\n",
+            encoding="utf-8",
+        )
+        return tmp_path, str(path)
+
+    def test_batch_reports_provenance_and_metrics(self, manifest, capsys):
+        _, path = manifest
+        assert main(["batch", path, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "computed" in out
+        assert "digest" in out   # identical pair short-circuited
+        assert "cache" in out    # repeated pair served from cache
+        assert "-- service metrics --" in out
+        assert "digest_short_circuits:  1" in out
+
+    def test_batch_isolates_malformed_documents(self, manifest, capsys):
+        tmp_path, path = manifest
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("bad.sexpr b.sexpr\n")
+        assert main(["batch", path]) == 1
+        captured = capsys.readouterr()
+        assert "ParseError" in captured.out
+        assert "1 of 4 jobs failed" in captured.err
+        # the healthy jobs still completed
+        assert "computed" in captured.out
+
+    def test_batch_json_output(self, manifest, capsys):
+        _, path = manifest
+        assert main(["batch", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["jobs"]) == 3
+        assert payload["metrics"]["counters"]["jobs_succeeded"] == 3
+        assert payload["cache"]["capacity"] == 256
+
+    def test_batch_cache_spill_roundtrip(self, manifest, tmp_path, capsys):
+        _, path = manifest
+        spill = str(tmp_path / "warm.json")
+        assert main(["batch", path, "--save-cache", spill]) == 0
+        capsys.readouterr()
+        # warm restart: the previously computed pair is now a cache hit
+        assert main(["batch", path, "--warm-cache", spill, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["counters"]["cache_misses"] == 0
+        assert payload["metrics"]["counters"]["cache_hits"] >= 1
+
+    def test_batch_bad_manifest_line(self, tmp_path, capsys):
+        path = tmp_path / "broken.manifest"
+        path.write_text("only-one-column\n", encoding="utf-8")
+        assert main(["batch", str(path)]) == 2
+        assert "expected 'OLD NEW'" in capsys.readouterr().err
+
+    def test_batch_missing_manifest(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "nope.manifest")]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,164 @@
+"""Tests for the digest-keyed script cache (repro.service.cache)."""
+
+import threading
+
+import pytest
+
+from repro import Tree, tree_diff, trees_isomorphic
+from repro.service.cache import (
+    ScriptCache,
+    canonicalize_script,
+    instantiate_script,
+)
+
+
+def key(n):
+    return (f"old{n}", f"new{n}", "cfg")
+
+
+def payload(n):
+    return {"records": [], "wrapped": False, "cost": float(n), "summary": {}}
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        cache = ScriptCache(capacity=4)
+        assert cache.get(key(1)) is None
+        cache.put(key(1), payload(1))
+        assert cache.get(key(1)) == payload(1)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["puts"] == 1
+        assert stats["size"] == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = ScriptCache(capacity=2)
+        cache.put(key(1), payload(1))
+        cache.put(key(2), payload(2))
+        assert cache.get(key(1)) is not None  # refresh 1; 2 becomes LRU
+        cache.put(key(3), payload(3))         # evicts 2
+        assert cache.get(key(2)) is None
+        assert cache.get(key(1)) is not None
+        assert cache.get(key(3)) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_bound_holds(self):
+        cache = ScriptCache(capacity=3)
+        for n in range(10):
+            cache.put(key(n), payload(n))
+        stats = cache.stats()
+        assert stats["size"] == 3
+        assert stats["evictions"] == 7
+
+    def test_put_refreshes_existing_key(self):
+        cache = ScriptCache(capacity=2)
+        cache.put(key(1), payload(1))
+        cache.put(key(2), payload(2))
+        cache.put(key(1), payload(10))  # refresh, no eviction
+        cache.put(key(3), payload(3))   # evicts 2, not 1
+        assert cache.get(key(1)) == payload(10)
+        assert cache.get(key(2)) is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ScriptCache(capacity=0)
+
+    def test_thread_safety_smoke(self):
+        cache = ScriptCache(capacity=16)
+
+        def worker(base):
+            for n in range(50):
+                cache.put(key(base * 100 + n), payload(n))
+                cache.get(key(base * 100 + n))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = cache.stats()
+        assert stats["size"] <= 16
+        assert stats["puts"] == 200
+
+
+class TestSpill:
+    def test_save_and_warm_roundtrip(self, tmp_path):
+        path = str(tmp_path / "spill.json")
+        cache = ScriptCache(capacity=4)
+        for n in range(3):
+            cache.put(key(n), payload(n))
+        assert cache.save(path) == 3
+
+        warmed = ScriptCache(capacity=4)
+        assert warmed.warm(path) == 3
+        for n in range(3):
+            assert warmed.get(key(n)) == payload(n)
+
+    def test_warm_respects_capacity(self, tmp_path):
+        path = str(tmp_path / "spill.json")
+        cache = ScriptCache(capacity=8)
+        for n in range(6):
+            cache.put(key(n), payload(n))
+        cache.save(path)
+        small = ScriptCache(capacity=2)
+        small.warm(path)
+        assert len(small) == 2
+        # the most recently used entries survive
+        assert small.get(key(5)) is not None
+        assert small.get(key(0)) is None
+
+    def test_warm_missing_file_is_cold_start(self, tmp_path):
+        cache = ScriptCache(capacity=4)
+        assert cache.warm(str(tmp_path / "nope.json")) == 0
+        assert len(cache) == 0
+
+
+class TestCanonicalization:
+    def make_pair(self):
+        old = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "shared sentence one"), ("S", "doomed line")]),
+                ("P", None, [("S", "tail paragraph stays")]),
+            ])
+        )
+        new = Tree.from_obj(
+            ("D", None, [
+                ("P", None, [("S", "tail paragraph stays")]),
+                ("P", None, [("S", "shared sentence one"), ("S", "fresh line")]),
+            ])
+        )
+        return old, new
+
+    def test_roundtrip_on_same_tree(self):
+        old, new = self.make_pair()
+        result = tree_diff(old, new)
+        payload = canonicalize_script(
+            result.script, old, result.edit.wrapped, result.edit.dummy_t1_id
+        )
+        script, wrapped, _dummy = instantiate_script(payload, old)
+        assert wrapped == result.edit.wrapped
+        assert len(script) == len(result.script)
+        if not wrapped:
+            assert trees_isomorphic(script.apply_to(old), new)
+
+    def test_rebinds_onto_isomorphic_tree_with_other_ids(self):
+        old, new = self.make_pair()
+        result = tree_diff(old, new)
+        payload = canonicalize_script(
+            result.script, old, result.edit.wrapped, result.edit.dummy_t1_id
+        )
+        # a content-identical pair with a disjoint identifier space
+        old2 = Tree.from_obj(old.to_obj())
+        new2 = Tree.from_obj(new.to_obj())
+        script, wrapped, _dummy = instantiate_script(payload, old2)
+        assert not wrapped
+        assert trees_isomorphic(script.apply_to(old2), new2)
+
+    def test_payload_is_json_friendly(self):
+        import json
+
+        old, new = self.make_pair()
+        result = tree_diff(old, new)
+        payload = canonicalize_script(result.script, old)
+        assert json.loads(json.dumps(payload)) == payload

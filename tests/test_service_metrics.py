@@ -1,0 +1,109 @@
+"""Tests for service counters and latency histograms."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    STANDARD_COUNTERS,
+    LatencyHistogram,
+    ServiceMetrics,
+)
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.mean() == 0.0
+        assert hist.percentile(50) == 0.0
+
+    def test_percentiles(self):
+        hist = LatencyHistogram()
+        for value in range(1, 101):  # 1..100
+            hist.observe(float(value))
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+        assert 45.0 <= hist.percentile(50) <= 55.0
+        assert 90.0 <= hist.percentile(95) <= 100.0
+
+    def test_mean_is_exact_beyond_window(self):
+        hist = LatencyHistogram(max_samples=8)
+        for value in range(100):
+            hist.observe(float(value))
+        assert hist.count == 100
+        assert hist.mean() == pytest.approx(sum(range(100)) / 100)
+
+    def test_window_is_bounded(self):
+        hist = LatencyHistogram(max_samples=16)
+        for value in range(1000):
+            hist.observe(float(value))
+        assert len(hist._samples) == 16
+        # percentiles reflect the recent window, not ancient samples
+        assert hist.percentile(0) >= 984.0
+
+    def test_percentile_validation(self):
+        hist = LatencyHistogram()
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+
+class TestServiceMetrics:
+    def test_standard_counters_present(self):
+        snap = ServiceMetrics().snapshot()
+        for name in STANDARD_COUNTERS:
+            assert snap["counters"][name] == 0
+
+    def test_incr_and_get(self):
+        metrics = ServiceMetrics()
+        metrics.incr("cache_hits")
+        metrics.incr("cache_hits", 4)
+        metrics.incr("custom_counter", 2)
+        assert metrics.get("cache_hits") == 5
+        assert metrics.get("custom_counter") == 2
+        assert metrics.snapshot()["counters"]["custom_counter"] == 2
+
+    def test_wall_time_snapshot(self):
+        metrics = ServiceMetrics()
+        for ms in (1.0, 2.0, 3.0, 100.0):
+            metrics.observe_wall(ms)
+        wall = metrics.snapshot()["wall_time"]
+        assert wall["count"] == 4
+        assert wall["mean_ms"] == pytest.approx(26.5)
+        assert wall["p95_ms"] >= wall["p50_ms"]
+
+    def test_reset(self):
+        metrics = ServiceMetrics()
+        metrics.incr("jobs_submitted", 7)
+        metrics.observe_wall(5.0)
+        metrics.reset()
+        snap = metrics.snapshot()
+        assert snap["counters"]["jobs_submitted"] == 0
+        assert snap["wall_time"]["count"] == 0
+
+    def test_thread_safety_smoke(self):
+        metrics = ServiceMetrics()
+
+        def worker():
+            for _ in range(500):
+                metrics.incr("jobs_submitted")
+                metrics.observe_wall(1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.get("jobs_submitted") == 2000
+        assert metrics.snapshot()["wall_time"]["count"] == 2000
+
+    def test_render_mentions_counters_and_cache(self):
+        metrics = ServiceMetrics()
+        metrics.incr("cache_hits", 3)
+        text = metrics.render(
+            {"size": 1, "capacity": 8, "hits": 3, "misses": 1, "evictions": 0}
+        )
+        assert "cache_hits" in text
+        assert "wall time" in text
+        assert "size=1/8" in text

@@ -150,3 +150,111 @@ class TestRootChanges:
         assert trees_isomorphic(store.head(), v1)
         assert trees_isomorphic(store.checkout(0), v0)
         assert store.verify_history()
+
+
+class TestDigestCommitPath:
+    def make_engine_store(self, **kwargs):
+        from repro.service import DiffEngine
+
+        engine = DiffEngine(workers=1)
+        return engine, VersionStore(engine=engine, **kwargs)
+
+    def test_unchanged_snapshot_skips_commit(self):
+        engine, store = self.make_engine_store()
+        versions = version_chain(2)
+        store.commit(versions[0])
+        store.commit(versions[1])
+        before = len(store)
+        # content-identical snapshot with a fresh identifier space
+        twin = Tree.from_obj(versions[1].to_obj())
+        info = store.commit(twin, "no-op redeploy")
+        assert len(store) == before  # nothing appended
+        assert info.version == store.head_version
+        assert info.operations == 0
+        assert info.metadata["unchanged"] is True
+        assert engine.metrics.get("digest_short_circuits") == 1
+        assert store.verify_history()
+
+    def test_changed_snapshot_still_commits(self):
+        engine, store = self.make_engine_store()
+        versions = version_chain(3)
+        for v in versions:
+            store.commit(v)
+        assert len(store) == 3
+        assert engine.metrics.get("digest_short_circuits") == 0
+        for index, version in enumerate(versions):
+            assert trees_isomorphic(store.checkout(index), version)
+
+    def test_store_without_engine_always_commits(self):
+        store = VersionStore()
+        tree = Tree.from_obj(("D", None, [("S", "same")]))
+        store.commit(tree)
+        info = store.commit(tree.copy(), "identical")
+        # legacy behavior preserved: a new (empty-delta) version is recorded
+        assert len(store) == 2
+        assert info.version == 1
+        assert "unchanged" not in info.metadata
+
+
+class TestCheckoutCache:
+    def test_repeated_checkout_hits_cache(self):
+        versions = version_chain(5)
+        store = VersionStore(checkout_cache_size=4)
+        for v in versions:
+            store.commit(v)
+        first = store.checkout(1)
+        second = store.checkout(1)
+        assert store.checkout_misses == 1
+        assert store.checkout_hits == 1
+        assert trees_isomorphic(first, versions[1])
+        assert trees_isomorphic(second, versions[1])
+
+    def test_cached_tree_is_isolated_from_callers(self):
+        versions = version_chain(3)
+        store = VersionStore()
+        for v in versions:
+            store.commit(v)
+        checked_out = store.checkout(0)
+        leaf = next(checked_out.leaves())
+        checked_out.update(leaf.id, "caller-side vandalism")
+        assert trees_isomorphic(store.checkout(0), versions[0])
+
+    def test_eviction_bound_holds(self):
+        versions = version_chain(7)
+        store = VersionStore(checkout_cache_size=2)
+        for v in versions:
+            store.commit(v)
+        for index in range(len(versions) - 1):
+            store.checkout(index)
+        assert len(store._checkout_cache) <= 2
+        for index, version in enumerate(versions):
+            assert trees_isomorphic(store.checkout(index), version)
+
+    def test_head_checkout_bypasses_cache(self):
+        versions = version_chain(3)
+        store = VersionStore(checkout_cache_size=4)
+        for v in versions:
+            store.commit(v)
+        store.checkout(store.head_version)
+        assert store.checkout_hits == 0
+        assert store.checkout_misses == 0
+
+    def test_zero_size_disables_memo(self):
+        versions = version_chain(4)
+        store = VersionStore(checkout_cache_size=0)
+        for v in versions:
+            store.commit(v)
+        for _ in range(3):
+            assert trees_isomorphic(store.checkout(1), versions[1])
+        assert len(store._checkout_cache) == 0
+        assert store.checkout_hits == 0
+
+    def test_replays_from_nearest_cached_version(self):
+        versions = version_chain(6)
+        store = VersionStore(checkout_cache_size=4)
+        for v in versions:
+            store.commit(v)
+        store.checkout(4)  # materialize an intermediate version
+        # checking out an older version may start from version 4's memo
+        assert trees_isomorphic(store.checkout(1), versions[1])
+        assert trees_isomorphic(store.checkout(3), versions[3])
