@@ -1,0 +1,244 @@
+"""Pipeline index payoff: Criterion-2 and FindPos, indexed vs unindexed.
+
+The :class:`repro.core.index.TreeIndex` the pipeline shares across stages
+replaces two hot ad-hoc walks:
+
+* **Criterion-2** (Section 5.2): ``common(x, y)`` iterated ``x.leaves()``
+  and climbed parent chains per leaf; the index iterates a flat leaf span
+  and answers containment with one interval comparison.
+* **FindPos** (Figure 9): the legacy scan walks every left sibling from
+  slot 1; the index locates the node in O(1) and scans backwards to the
+  nearest in-order sibling.
+
+Both are measured on the Figure 13(a) document workload (move-heavy
+mutation mix over synthetic papers) by running the *same* production code
+paths with and without indexes. The combined speedup must be >= 1.3x —
+the refactor's headline claim. A ``BENCH {json}`` line is emitted for CI
+to scrape.
+
+Run directly with ``python benchmarks/bench_pipeline.py`` for the table,
+or ``--smoke`` for the fast correctness-only configuration CI uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.index import TreeIndex
+from repro.editscript.generator import _Generator
+from repro.matching.criteria import CriteriaContext
+from repro.matching.fastmatch import fast_match
+from repro.workload import MutationMix, generate_document
+from repro.workload.documents import DocumentSpec
+
+from conftest import print_table
+
+#: Same document-editing mix as bench_fig13a: whole-paragraph moves dominate.
+MOVE_HEAVY_MIX = MutationMix(
+    insert_leaf=1.0,
+    delete_leaf=1.0,
+    update_leaf=1.0,
+    move_leaf=0.5,
+    move_subtree=2.0,
+    insert_subtree=0.2,
+    delete_subtree=0.2,
+)
+
+#: Fig. 13(a) set-C shape: the largest of the paper's three document sets.
+SPEC = DocumentSpec(sections=8, paragraphs_per_section=8,
+                    sentences_per_paragraph=6)
+MIN_SPEEDUP = 1.3
+
+
+def document_pair(seed=47, edits=32, spec=SPEC):
+    from repro.workload import MutationEngine
+
+    old = generate_document(seed, spec)
+    new = MutationEngine(seed + 1, mix=MOVE_HEAVY_MIX).mutate(old, edits).tree
+    return old, new
+
+
+def _time(fn, rounds):
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Criterion 2: common(x, y) / internals_equal over internal-node pairs
+# ---------------------------------------------------------------------------
+def measure_criterion2(old, new, matching, rounds=3):
+    """Evaluate Criterion 2 for every same-label internal pair, both ways."""
+    internals1 = [n for n in old.preorder() if not n.is_leaf]
+    internals2 = {}
+    for node in new.preorder():
+        if not node.is_leaf:
+            internals2.setdefault(node.label, []).append(node)
+    pairs = [
+        (x, y) for x in internals1 for y in internals2.get(x.label, ())
+    ]
+
+    def evaluate(context):
+        hits = 0
+        for x, y in pairs:
+            if context.internals_equal(x, y, matching):
+                hits += 1
+        return hits
+
+    indexed_context = CriteriaContext(
+        old, new, index1=TreeIndex(old), index2=TreeIndex(new)
+    )
+    unindexed_context = CriteriaContext(old, new)
+    # Same verdicts through both code paths, or the speedup is meaningless.
+    assert evaluate(indexed_context) == evaluate(unindexed_context)
+    indexed_s = _time(lambda: evaluate(indexed_context), rounds)
+    unindexed_s = _time(lambda: evaluate(unindexed_context), rounds)
+    return {
+        "pairs": len(pairs),
+        "indexed_s": indexed_s,
+        "unindexed_s": unindexed_s,
+        "speedup": unindexed_s / indexed_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# FindPos: sibling-anchor search after a full generator run
+# ---------------------------------------------------------------------------
+def measure_findpos(old, new, matching, rounds=3):
+    """Call the real ``_find_pos`` on every T2 node, both code paths.
+
+    The generator is run to completion first so the in-order marks and the
+    total matching M' are exactly the algorithm's end state; FindPos is
+    then re-evaluated for every placed node — the worst (and common) case
+    where every left sibling is marked in order.
+    """
+    index2 = TreeIndex(new)
+    generators = {}
+    for key, index in (("indexed", index2), ("unindexed", None)):
+        generator = _Generator(old, new, matching, index2=index)
+        generator.run()
+        assert not generator.wrapped  # document roots always match
+        generators[key] = generator
+    targets = [n for n in new.preorder() if n.parent is not None]
+
+    def evaluate(generator):
+        total = 0
+        for node in targets:
+            total += generator._find_pos(node, None)
+        return total
+
+    assert evaluate(generators["indexed"]) == evaluate(generators["unindexed"])
+    indexed_s = _time(lambda: evaluate(generators["indexed"]), rounds)
+    unindexed_s = _time(lambda: evaluate(generators["unindexed"]), rounds)
+    return {
+        "calls": len(targets),
+        "indexed_s": indexed_s,
+        "unindexed_s": unindexed_s,
+        "speedup": unindexed_s / indexed_s,
+    }
+
+
+def measure(seed=47, edits=32, spec=SPEC, rounds=3):
+    old, new = document_pair(seed=seed, edits=edits, spec=spec)
+    matching = fast_match(old, new)
+    criterion2 = measure_criterion2(old, new, matching, rounds=rounds)
+    findpos = measure_findpos(old, new, matching, rounds=rounds)
+    combined_unindexed = criterion2["unindexed_s"] + findpos["unindexed_s"]
+    combined_indexed = criterion2["indexed_s"] + findpos["indexed_s"]
+    return {
+        "nodes": len(old),
+        "criterion2": criterion2,
+        "findpos": findpos,
+        "combined_speedup": combined_unindexed / combined_indexed,
+    }
+
+
+def report(stats):
+    rows = [
+        (
+            name,
+            results["pairs"] if "pairs" in results else results["calls"],
+            f"{results['unindexed_s'] * 1e3:.2f}",
+            f"{results['indexed_s'] * 1e3:.2f}",
+            f"{results['speedup']:.2f}x",
+        )
+        for name, results in (
+            ("criterion-2", stats["criterion2"]),
+            ("findpos", stats["findpos"]),
+        )
+    ]
+    print_table(
+        f"TreeIndex payoff on the Fig. 13(a) document workload "
+        f"({stats['nodes']} nodes)",
+        ["hot path", "evaluations", "unindexed ms", "indexed ms", "speedup"],
+        rows,
+    )
+    print(f"combined speedup = {stats['combined_speedup']:.2f}x "
+          f"(required >= {MIN_SPEEDUP}x)")
+    print("BENCH " + json.dumps({
+        "benchmark": "bench_pipeline",
+        "nodes": stats["nodes"],
+        "criterion2_speedup": round(stats["criterion2"]["speedup"], 3),
+        "findpos_speedup": round(stats["findpos"]["speedup"], 3),
+        "combined_speedup": round(stats["combined_speedup"], 3),
+    }))
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry point
+# ---------------------------------------------------------------------------
+def test_pipeline_index_speedup(benchmark):
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(stats)
+    benchmark.extra_info["criterion2_speedup"] = round(
+        stats["criterion2"]["speedup"], 2
+    )
+    benchmark.extra_info["findpos_speedup"] = round(
+        stats["findpos"]["speedup"], 2
+    )
+    assert stats["combined_speedup"] >= MIN_SPEEDUP
+    assert stats["criterion2"]["speedup"] >= MIN_SPEEDUP
+
+
+# ---------------------------------------------------------------------------
+# Direct / CI-smoke execution
+# ---------------------------------------------------------------------------
+def smoke() -> int:
+    """Small configuration for CI: both paths agree and indexing pays."""
+    stats = measure(
+        spec=DocumentSpec(sections=4, paragraphs_per_section=5,
+                          sentences_per_paragraph=4),
+        edits=16,
+        rounds=2,
+    )
+    report(stats)
+    assert stats["combined_speedup"] >= MIN_SPEEDUP
+    print("pipeline benchmark smoke: OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast configuration (used by CI)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke()
+    stats = measure()
+    report(stats)
+    if stats["combined_speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: combined speedup below {MIN_SPEEDUP}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,8 @@ Public surface:
   result caching, and service metrics (the §1 warehouse serving layer).
 """
 
+from .core.errors import ConfigError
+from .core.index import TreeIndex
 from .core.node import Node
 from .core.tree import Tree
 from .core.isomorphism import trees_isomorphic
@@ -42,21 +44,27 @@ from .matching.fastmatch import fast_match
 from .matching.matching import Matching
 from .matching.simple import match
 from .merge import MergeResult, three_way_merge
+from .pipeline import DiffConfig, DiffPipeline, Trace
 from .service.engine import DiffEngine
 from .service.digest import tree_fingerprint
 from .store import VersionStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ConfigError",
+    "DiffConfig",
     "DiffEngine",
+    "DiffPipeline",
     "DiffResult",
     "EditScript",
     "MatchConfig",
     "Matching",
     "MergeResult",
     "Node",
+    "Trace",
     "Tree",
+    "TreeIndex",
     "VersionStore",
     "__version__",
     "fast_match",

@@ -30,13 +30,11 @@ from typing import List, Optional
 
 from . import __version__
 from .analysis import fastmatch_bound, result_distances, tree_pair_sizes
+from .core.errors import ConfigError
 from .core.serialization import tree_from_dict, tree_from_sexpr
 from .core.tree import Tree
-from .diff import tree_diff
-from .editscript.generator import generate_edit_script
 from .ladiff.pipeline import default_match_config, ladiff
-from .matching.criteria import MatchingStats
-from .matching.fastmatch import fast_match
+from .pipeline import DiffConfig, DiffPipeline
 from .service.engine import DiffEngine
 
 
@@ -80,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_script.add_argument("new", help="new tree file (.sexpr or .json)")
     p_script.add_argument(
         "--json", action="store_true", help="emit the script as JSON"
+    )
+    p_script.add_argument(
+        "--algorithm", choices=("fast", "simple"), default="fast",
+        help="matching algorithm (default: fast)",
+    )
+    p_script.add_argument(
+        "--trace", action="store_true",
+        help="print per-stage pipeline timings and counters to stderr",
     )
     p_script.add_argument(
         "-t", type=float, default=0.5, help="match threshold t (default 0.5)"
@@ -143,14 +149,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
-    if args.command == "ladiff":
-        return _cmd_ladiff(args)
-    if args.command == "script":
-        return _cmd_script(args)
-    if args.command == "stats":
-        return _cmd_stats(args)
-    if args.command == "batch":
-        return _cmd_batch(args)
+    try:
+        if args.command == "ladiff":
+            return _cmd_ladiff(args)
+        if args.command == "script":
+            return _cmd_script(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
+        if args.command == "batch":
+            return _cmd_batch(args)
+    except ConfigError as exc:
+        # One typed error covers every invalid-configuration path (bad
+        # thresholds, unknown algorithm/format) across all subcommands.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -188,10 +200,15 @@ def _load_tree(path: str) -> Tree:
 
 
 def _cmd_script(args) -> int:
+    pipeline = DiffPipeline(
+        DiffConfig(
+            algorithm=args.algorithm,
+            match=default_match_config(t=args.t, f=args.f),
+        )
+    )
     old = _load_tree(args.old)
     new = _load_tree(args.new)
-    config = default_match_config(t=args.t, f=args.f)
-    result = tree_diff(old, new, config=config)
+    result = pipeline.run(old, new)
     if not result.verify(old, new):  # pragma: no cover - guard
         print("internal error: script failed verification", file=sys.stderr)
         return 1
@@ -201,6 +218,8 @@ def _cmd_script(args) -> int:
         for op in result.script:
             print(op)
         print(f"# cost = {result.cost():.2f}", file=sys.stderr)
+    if args.trace and result.trace is not None:
+        print(result.trace.render(), file=sys.stderr)
     return 0
 
 
@@ -208,13 +227,16 @@ def _cmd_stats(args) -> int:
     from .ladiff.pipeline import _PARSERS
 
     parser = _PARSERS[args.format]
+    # The §8 measurements instrument FastMatch itself, so the repair pass
+    # stays off — same counters the paper reports, now read off the trace.
+    pipeline = DiffPipeline(
+        DiffConfig(match=default_match_config(), postprocess=False)
+    )
     old = parser(_read(args.old))
     new = parser(_read(args.new))
-    config = default_match_config()
-    stats = MatchingStats()
-    matching = fast_match(old, new, config, stats=stats)
-    result = generate_edit_script(old, new, matching)
-    distances = result_distances(old, result)
+    diffed = pipeline.run(old, new)
+    stats = diffed.match_stats
+    distances = result_distances(old, diffed.edit)
     sizes = tree_pair_sizes(old, new)
     bound = fastmatch_bound(sizes, distances.weighted)
     measured = stats.leaf_compares + stats.partner_checks
@@ -302,6 +324,9 @@ def _cmd_batch(args) -> int:
                         "operations": r.operations,
                         "cost": r.cost,
                         "wall_ms": round(r.wall_ms, 3),
+                        "stage_ms": {
+                            stage: round(ms, 3) for stage, ms in r.stage_ms.items()
+                        },
                         "error": r.error,
                     }
                     for r in results

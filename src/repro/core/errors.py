@@ -75,6 +75,16 @@ class RootOperationError(TreeError):
         self.node_id = node_id
 
 
+class ConfigError(ReproError, ValueError):
+    """A diff configuration is invalid (unknown algorithm, bad threshold...).
+
+    Raised eagerly at configuration-construction time so every front end
+    (library, CLI, service) rejects bad inputs before any work is done.
+    Subclasses :class:`ValueError` so callers that predate the typed error
+    keep working.
+    """
+
+
 class EditScriptError(ReproError):
     """An edit script is malformed or cannot be applied."""
 

@@ -1,0 +1,245 @@
+"""Per-tree structural indexes shared across pipeline stages.
+
+The matching criteria (Section 5.2), FastMatch's label chains (Section 5.3),
+and EditScript's FindPos (Figure 9) all consume the same handful of facts
+about a tree — leaf counts, contained-leaf sets, label chains, sibling
+ranks — and the original wiring recomputed them ad hoc on every comparison
+(``node.leaves()`` walks for Criterion 2, parent-chain ascents for
+containment, ``children.index`` scans for FindPos).
+
+:class:`TreeIndex` materializes all of them in two linear passes:
+
+* ``leaf_count[x]`` — ``|x|``, the Criterion-2 denominator;
+* preorder ranks + subtree sizes — an interval labeling that turns
+  "is *n* under *a*?" into one integer comparison;
+* a flat document-order leaf list with per-node spans — contained-leaf
+  iteration without re-walking the subtree;
+* ``chain_T(l)`` label chains and first-seen leaf/internal label lists —
+  exactly what FastMatch's step 1 builds per run;
+* 1-based child ranks — FindPos locates a node among its siblings in O(1);
+* subtree Merkle digests, computed lazily by reusing
+  :mod:`repro.service.digest`.
+
+An index is a snapshot: it describes the tree *as it was at construction*.
+Mutating the tree afterwards silently invalidates it, so mutation-path code
+must rebuild (cheap, one pass) or fall back to the naive walks. Consumers
+can test membership with :meth:`TreeIndex.owns`, which also detects nodes
+created after the snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from .node import Node
+from .tree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.digest import DigestIndex
+
+
+class TreeIndex:
+    """Immutable structural facts about one tree, built in linear time."""
+
+    __slots__ = (
+        "tree",
+        "_nodes",
+        "_pre_rank",
+        "_size",
+        "_leaf_count",
+        "_leaf_span",
+        "_leaves",
+        "_chains",
+        "_child_rank",
+        "_leaf_labels",
+        "_internal_labels",
+        "_digests",
+    )
+
+    def __init__(self, tree: Tree) -> None:
+        self.tree = tree
+        self._nodes: Dict[Any, Node] = {}
+        self._pre_rank: Dict[Any, int] = {}
+        self._size: Dict[Any, int] = {}
+        self._leaf_count: Dict[Any, int] = {}
+        self._leaf_span: Dict[Any, Tuple[int, int]] = {}
+        self._leaves: List[Node] = []
+        self._chains: Dict[str, List[Node]] = {}
+        self._child_rank: Dict[Any, int] = {}
+        self._leaf_labels: List[str] = []
+        self._internal_labels: List[str] = []
+        self._digests: Optional["DigestIndex"] = None
+        self._build(tree)
+
+    def _build(self, tree: Tree) -> None:
+        # Pass 1 (postorder): subtree sizes and leaf counts by accumulation.
+        for node in tree.postorder():
+            if node.is_leaf:
+                self._size[node.id] = 1
+                self._leaf_count[node.id] = 1
+            else:
+                self._size[node.id] = 1 + sum(
+                    self._size[c.id] for c in node.children
+                )
+                self._leaf_count[node.id] = sum(
+                    self._leaf_count[c.id] for c in node.children
+                )
+        # Pass 2 (preorder): ranks, chains, leaf spans, child ranks. In
+        # preorder every leaf under a node is emitted before any node
+        # outside its subtree, so the span is [emitted-so-far, +leaf_count).
+        seen_leaf_labels: Dict[str, None] = {}
+        seen_internal_labels: Dict[str, None] = {}
+        for rank, node in enumerate(tree.preorder()):
+            self._nodes[node.id] = node
+            self._pre_rank[node.id] = rank
+            self._chains.setdefault(node.label, []).append(node)
+            start = len(self._leaves)
+            self._leaf_span[node.id] = (start, start + self._leaf_count[node.id])
+            if node.is_leaf:
+                self._leaves.append(node)
+                seen_leaf_labels.setdefault(node.label, None)
+            else:
+                seen_internal_labels.setdefault(node.label, None)
+            for position, child in enumerate(node.children, start=1):
+                self._child_rank[child.id] = position
+        self._leaf_labels = list(seen_leaf_labels)
+        self._internal_labels = list(seen_internal_labels)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: Any) -> bool:
+        return node_id in self._nodes
+
+    def owns(self, node: Node) -> bool:
+        """True when *node* is the very object this index was built over.
+
+        Identifier spaces of two trees commonly overlap (both number nodes
+        1..n), and nodes created after the snapshot may reuse ids, so the
+        check is by object identity, not by id.
+        """
+        return self._nodes.get(node.id) is node
+
+    # ------------------------------------------------------------------
+    # Structural facts
+    # ------------------------------------------------------------------
+    def rank(self, node_id: Any) -> int:
+        """0-based preorder rank of the node."""
+        return self._pre_rank[node_id]
+
+    def subtree_size(self, node_id: Any) -> int:
+        """Number of nodes (including itself) in the node's subtree."""
+        return self._size[node_id]
+
+    def leaf_count(self, node_id: Any) -> int:
+        """``|x|``: number of leaves contained in the node's subtree."""
+        return self._leaf_count[node_id]
+
+    def is_under(self, node_id: Any, ancestor_id: Any) -> bool:
+        """True when *ancestor_id* is a proper ancestor of *node_id*.
+
+        One interval comparison instead of a parent-chain ascent: a node
+        lies strictly inside an ancestor's preorder interval.
+        """
+        a = self._pre_rank[ancestor_id]
+        n = self._pre_rank[node_id]
+        return a < n < a + self._size[ancestor_id]
+
+    def leaves_of(self, node_id: Any) -> Sequence[Node]:
+        """The leaves contained in the node's subtree, document order."""
+        start, stop = self._leaf_span[node_id]
+        return self._leaves[start:stop]
+
+    def child_rank(self, node_id: Any) -> int:
+        """1-based position among siblings (the paper's child index)."""
+        return self._child_rank[node_id]
+
+    # ------------------------------------------------------------------
+    # Label chains (FastMatch step 1)
+    # ------------------------------------------------------------------
+    def chain(self, label: str) -> Sequence[Node]:
+        """``chain_T(l)``: nodes with the label, left-to-right."""
+        return self._chains.get(label, ())
+
+    def chains(self) -> Dict[str, List[Node]]:
+        """All label chains (shared structure; treat as read-only)."""
+        return self._chains
+
+    def node_table(self) -> Dict[Any, Node]:
+        """The id → node mapping (shared structure; treat as read-only).
+
+        Hot loops bind ``node_table().get`` once and combine the lookup
+        with an identity check instead of calling :meth:`owns` per node.
+        """
+        return self._nodes
+
+    def child_rank_table(self) -> Dict[Any, int]:
+        """The id → 1-based sibling rank mapping (treat as read-only)."""
+        return self._child_rank
+
+    def leaf_labels(self) -> List[str]:
+        """Labels on at least one leaf, in first-seen document order."""
+        return list(self._leaf_labels)
+
+    def internal_labels(self) -> List[str]:
+        """Labels on at least one interior node, first-seen order."""
+        return list(self._internal_labels)
+
+    # ------------------------------------------------------------------
+    # Subtree digests (lazy; reuses the service layer's Merkle pass)
+    # ------------------------------------------------------------------
+    @property
+    def digests(self) -> "DigestIndex":
+        """Per-subtree Merkle digests (see :mod:`repro.service.digest`).
+
+        Computed on first access and memoized; reuses an index already
+        attached to the tree by the serving layer when present.
+        """
+        if self._digests is None:
+            from ..service.digest import cached_digests
+
+            self._digests = cached_digests(self.tree)
+        return self._digests
+
+    def subtrees_equal(
+        self, node_id: Any, other: "TreeIndex", other_id: Any
+    ) -> bool:
+        """O(1) isomorphism fast path between two indexed subtrees."""
+        return self.digests.get(node_id) == other.digests.get(other_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TreeIndex(nodes={len(self._nodes)}, leaves={len(self._leaves)})"
+
+
+def build_index(tree: Tree) -> TreeIndex:
+    """Construct a fresh :class:`TreeIndex` over *tree*."""
+    return TreeIndex(tree)
+
+
+def attach_index(tree: Tree) -> TreeIndex:
+    """Build an index and attach it as ``tree.index`` for later reuse.
+
+    Like :func:`repro.service.digest.attach_digests`, the attachment is a
+    plain attribute: later mutation silently invalidates it, so only code
+    treating snapshots as immutable should attach.
+    """
+    index = TreeIndex(tree)
+    tree.index = index  # type: ignore[attr-defined]
+    return index
+
+
+def cached_index(tree: Tree) -> Tuple[TreeIndex, bool]:
+    """Return ``(index, reused)`` — a still-valid attached index, or fresh.
+
+    A stale attachment (tree mutated or attribute copied across trees) is
+    detected by re-checking that the index was built over this very tree
+    object and still agrees on the node population; staleness inside an
+    unchanged node set is the caller's contract, as with digests.
+    """
+    index = getattr(tree, "index", None)
+    if isinstance(index, TreeIndex) and index.tree is tree and len(index) == len(tree):
+        return index, True
+    return TreeIndex(tree), False

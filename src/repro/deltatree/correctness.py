@@ -26,7 +26,7 @@ from collections import Counter
 
 from ..core.node import Node
 from ..core.tree import Tree
-from .annotations import Del, Idn, Ins, Mov, Mrk, Upd
+from .annotations import Del, Ins, Mov, Mrk, Upd
 from .builder import DeltaNode, DeltaTree
 
 

@@ -1,49 +1,27 @@
 """Top-level change-detection API.
 
-:func:`tree_diff` wires the paper's two subproblems together: find a good
-matching (FastMatch by default), optionally repair it (Section 8
-post-processing), then generate the minimum conforming edit script
-(Algorithm EditScript). This is the function most applications need; the
-pieces remain individually importable for custom pipelines.
+:func:`tree_diff` is a thin compatibility wrapper over
+:class:`repro.pipeline.DiffPipeline`, which wires the paper's two
+subproblems together: find a good matching (FastMatch by default),
+optionally repair it (Section 8 post-processing), then generate the minimum
+conforming edit script (Algorithm EditScript). This is the function most
+applications need; the pieces remain individually importable for custom
+pipelines, and the pipeline itself (with its staged :class:`Trace`
+instrumentation and shared per-tree indexes) is the extension point for
+everything else.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 from .core.tree import Tree
-from .editscript.cost import CostModel
-from .editscript.generator import EditScriptResult, generate_edit_script
-from .editscript.script import EditScript
-from .matching.criteria import MatchConfig, MatchingStats
-from .matching.fastmatch import fast_match
+from .matching.criteria import MatchConfig
 from .matching.matching import Matching
-from .matching.postprocess import postprocess_matching
 from .matching.schema import LabelSchema
-from .matching.simple import match as simple_match
+from .pipeline import DiffConfig, DiffPipeline, DiffResult
 
-
-@dataclass
-class DiffResult:
-    """Everything produced by one end-to-end diff."""
-
-    matching: Matching
-    edit: EditScriptResult
-    match_stats: MatchingStats = field(default_factory=MatchingStats)
-    postprocess_repairs: int = 0
-
-    @property
-    def script(self) -> EditScript:
-        """The minimum conforming edit script."""
-        return self.edit.script
-
-    def cost(self, model: Optional[CostModel] = None) -> float:
-        return self.edit.cost(model)
-
-    def verify(self, t1: Tree, t2: Tree) -> bool:
-        """Replay the script on *t1* and compare against *t2*."""
-        return self.edit.verify(t1, t2)
+__all__ = ["DiffResult", "tree_diff"]
 
 
 def tree_diff(
@@ -76,26 +54,21 @@ def tree_diff(
     Returns
     -------
     DiffResult
-        The matching used, the edit script result, and instrumentation.
+        The matching used, the edit script result, instrumentation, and
+        the pipeline :class:`~repro.pipeline.Trace`.
+
+    Raises
+    ------
+    repro.core.errors.ConfigError
+        Immediately — before any work is done — when *algorithm* or any
+        threshold is invalid.
     """
-    stats = MatchingStats()
-    repairs = 0
-    if matching is None:
-        if algorithm == "fast":
-            matching = fast_match(t1, t2, config, schema, stats)
-        elif algorithm == "simple":
-            matching = simple_match(t1, t2, config, stats)
-        else:
-            raise ValueError(
-                f"unknown matching algorithm {algorithm!r}; "
-                f"expected 'fast' or 'simple'"
-            )
-        if postprocess:
-            repairs = postprocess_matching(t1, t2, matching, config, stats)
-    edit = generate_edit_script(t1, t2, matching)
-    return DiffResult(
-        matching=matching,
-        edit=edit,
-        match_stats=stats,
-        postprocess_repairs=repairs,
+    pipeline = DiffPipeline(
+        DiffConfig(
+            algorithm=algorithm,
+            match=config,
+            schema=schema,
+            postprocess=postprocess,
+        )
     )
+    return pipeline.run(t1, t2, matching=matching)

@@ -35,6 +35,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional, Set
 
+from ..core.index import TreeIndex
 from ..core.isomorphism import trees_isomorphic
 from ..core.node import Node
 from ..core.tree import Tree
@@ -128,6 +129,7 @@ def generate_edit_script(
     t1: Tree,
     t2: Tree,
     matching: Matching,
+    index2: Optional[TreeIndex] = None,
 ) -> EditScriptResult:
     """Run Algorithm EditScript and return the full result bundle.
 
@@ -136,11 +138,17 @@ def generate_edit_script(
     node ids and must be one-to-one (class invariant of
     :class:`~repro.matching.Matching`); the script never inserts or deletes
     a matched node, so it *conforms* to the matching by construction.
+
+    *index2* is an optional prebuilt :class:`~repro.core.index.TreeIndex`
+    over ``t2`` (the pipeline passes the one built by its index stage):
+    FindPos then locates a node among its siblings via the index's child
+    ranks and scans backwards for the in-order anchor instead of re-walking
+    every left sibling from the start.
     """
     if t1.root is None or t2.root is None:
         raise ValueError("generate_edit_script requires non-empty trees")
     _validate_matching(t1, t2, matching)
-    generator = _Generator(t1, t2, matching)
+    generator = _Generator(t1, t2, matching, index2=index2)
     return generator.run()
 
 
@@ -171,10 +179,18 @@ def _validate_matching(t1: Tree, t2: Tree, matching: Matching) -> None:
 class _Generator:
     """Mutable state for one run of Algorithm EditScript."""
 
-    def __init__(self, t1: Tree, t2: Tree, matching: Matching) -> None:
+    def __init__(
+        self,
+        t1: Tree,
+        t2: Tree,
+        matching: Matching,
+        index2: Optional[TreeIndex] = None,
+    ) -> None:
         self.t2_original = t2
         self.work = t1.copy()  # T1 working copy; ops are applied here
         self.t2 = t2  # replaced by a wrapped copy if roots are unmatched
+        self.index2 = index2  # dropped if t2 is replaced by a wrapped copy
+        self._bind_index_tables()
         self.mprime = matching.copy()
         self.script = EditScript()
         self.stats = GenerationStats()
@@ -190,6 +206,15 @@ class _Generator:
         existing = [n for n in itertools.chain(t1.node_ids(), t2.node_ids())
                     if isinstance(n, int)]
         self._fresh = itertools.count(max(existing, default=0) + 1)
+
+    def _bind_index_tables(self) -> None:
+        """Bind the index's lookup tables once; FindPos runs per node."""
+        if self.index2 is not None:
+            self._owned2_get = self.index2.node_table().get
+            self._child_rank2 = self.index2.child_rank_table()
+        else:
+            self._owned2_get = None
+            self._child_rank2 = None
 
     # ------------------------------------------------------------------
     def run(self) -> EditScriptResult:
@@ -222,6 +247,10 @@ class _Generator:
         self.dummy_t2_id = next(self._fresh)
         self.work = _wrap_with_dummy_root(self.work, self.dummy_t1_id)
         self.t2 = _wrap_with_dummy_root(self.t2.copy(), self.dummy_t2_id)
+        # The BFS now walks a wrapped *copy* of T2; the prebuilt index does
+        # not own those nodes, so FindPos must fall back to sibling scans.
+        self.index2 = None
+        self._bind_index_tables()
         self.mprime.add(self.dummy_t1_id, self.dummy_t2_id)
         self.wrapped = True
 
@@ -354,11 +383,26 @@ class _Generator:
         # 2. If x is the leftmost child of y marked "in order", return 1.
         # (Equivalently: no in-order sibling lies to x's left.)
         anchor: Optional[Node] = None
-        for sibling in y.children:
-            if sibling is x:
-                break
-            if sibling.id in self.in_order2:
-                anchor = sibling
+        owned_get = self._owned2_get
+        if owned_get is not None and owned_get(x.id) is x:
+            # Indexed path: locate x among its siblings in O(1) and scan
+            # backwards, stopping at the first (i.e. rightmost) in-order
+            # left sibling instead of walking every slot from the left.
+            siblings = y.children
+            in_order = self.in_order2
+            position = self._child_rank2[x.id] - 2
+            while position >= 0:
+                sibling = siblings[position]
+                if sibling.id in in_order:
+                    anchor = sibling
+                    break
+                position -= 1
+        else:
+            for sibling in y.children:
+                if sibling is x:
+                    break
+                if sibling.id in self.in_order2:
+                    anchor = sibling
         if anchor is None:
             return 1
         # 3-5. Place right after the partner u of the rightmost in-order

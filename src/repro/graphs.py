@@ -29,7 +29,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .core.errors import ReproError
 from .core.tree import Tree
-from .diff import DiffResult, tree_diff
+from .pipeline import DiffConfig, DiffPipeline, DiffResult
 from .matching.criteria import MatchConfig
 
 REF_LABEL = "__ref__"
@@ -165,5 +165,5 @@ def graph_diff(
     """Detect changes between two graph versions (value-based matching)."""
     old_tree = encode_graph(old)
     new_tree = encode_graph(new)
-    result = tree_diff(old_tree, new_tree, config=config)
+    result = DiffPipeline(DiffConfig(match=config)).run(old_tree, new_tree)
     return GraphDiffResult(old_tree=old_tree, new_tree=new_tree, diff=result)

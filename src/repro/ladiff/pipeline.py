@@ -19,12 +19,10 @@ from typing import Callable, Optional
 
 from ..compare.sentence import SentenceComparator
 from ..core.tree import Tree
-from ..deltatree.builder import DeltaTree, build_delta_tree
-from ..deltatree.render_html import render_html
-from ..deltatree.render_latex import render_latex
-from ..deltatree.render_text import change_summary, render_text
-from ..diff import DiffResult, tree_diff
+from ..deltatree.builder import DeltaTree
+from ..deltatree.render_text import change_summary
 from ..matching.criteria import MatchConfig
+from ..pipeline import DiffConfig, DiffPipeline, DiffResult
 from .html_parser import parse_html
 from .latex_parser import parse_latex
 from .text_parser import parse_text
@@ -98,26 +96,18 @@ def ladiff(
             f"unknown input format {format!r}; expected one of {sorted(_PARSERS)}"
         ) from None
     config = config if config is not None else default_match_config()
+    # One DiffPipeline run covers steps 2-5: match, postprocess, edit
+    # script, delta tree, and rendering (validated up front by DiffConfig).
+    pipeline = DiffPipeline(DiffConfig(match=config, render=output))
     old_tree = parser(old_source)
     new_tree = parser(new_source)
-    diff = tree_diff(old_tree, new_tree, config=config)
-    delta = build_delta_tree(old_tree, new_tree, diff.edit)
-    if output == "latex":
-        rendered = render_latex(delta)
-    elif output == "html":
-        rendered = render_html(delta)
-    elif output == "text":
-        rendered = render_text(delta)
-    else:
-        raise ValueError(
-            f"unknown output format {output!r}; expected latex, html, or text"
-        )
+    diff = pipeline.run(old_tree, new_tree)
     return LaDiffResult(
         old_tree=old_tree,
         new_tree=new_tree,
         diff=diff,
-        delta=delta,
-        output=rendered,
+        delta=diff.delta,
+        output=diff.rendered,
     )
 
 

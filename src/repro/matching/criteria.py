@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..compare.generic import CompareRegistry
+from ..core.errors import ConfigError
+from ..core.index import TreeIndex
 from ..core.node import Node
 from ..core.tree import Tree
 from .matching import Matching
@@ -79,9 +81,9 @@ class MatchConfig:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.f <= 1.0:
-            raise ValueError(f"f must be in [0, 1], got {self.f}")
+            raise ConfigError(f"f must be in [0, 1], got {self.f}")
         if not 0.5 <= self.t <= 1.0:
-            raise ValueError(f"t must be in [1/2, 1], got {self.t}")
+            raise ConfigError(f"t must be in [1/2, 1], got {self.t}")
 
     def compare_nodes(self, x: Node, y: Node) -> float:
         """``compare`` on two nodes' values, routed by the first label."""
@@ -89,7 +91,16 @@ class MatchConfig:
 
 
 class CriteriaContext:
-    """Shared per-run state: leaf counts, containment tests, counters."""
+    """Shared per-run state: leaf counts, containment tests, counters.
+
+    When prebuilt :class:`~repro.core.index.TreeIndex` objects are supplied
+    (the pipeline's ``index`` stage builds them once per tree), Criterion-2
+    evaluation runs on the indexed fast path: contained leaves come from the
+    index's flat leaf spans and containment is one preorder-interval
+    comparison instead of a parent-chain ascent. Without indexes the context
+    falls back to the naive walks, which keeps the two paths directly
+    comparable (see ``benchmarks/bench_pipeline.py``).
+    """
 
     def __init__(
         self,
@@ -97,14 +108,20 @@ class CriteriaContext:
         t2: Tree,
         config: Optional[MatchConfig] = None,
         stats: Optional[MatchingStats] = None,
+        index1: Optional[TreeIndex] = None,
+        index2: Optional[TreeIndex] = None,
     ) -> None:
         self.t1 = t1
         self.t2 = t2
         self.config = config if config is not None else MatchConfig()
         self.stats = stats if stats is not None else MatchingStats()
+        self.index1 = index1
+        self.index2 = index2
         self._leaf_counts: Dict[Any, int] = {}
-        self._precompute_leaf_counts(t1)
-        self._precompute_leaf_counts(t2)
+        if index1 is None:
+            self._precompute_leaf_counts(t1)
+        if index2 is None:
+            self._precompute_leaf_counts(t2)
 
     def _precompute_leaf_counts(self, tree: Tree) -> None:
         # Postorder accumulation: one pass, no per-node subtree walks.
@@ -116,8 +133,19 @@ class CriteriaContext:
                     self._leaf_counts[id(child)] for child in node.children
                 )
 
+    def _index_for(self, node: Node) -> Optional[TreeIndex]:
+        """The index that owns *node*, if any (identity-checked)."""
+        if self.index1 is not None and self.index1.owns(node):
+            return self.index1
+        if self.index2 is not None and self.index2.owns(node):
+            return self.index2
+        return None
+
     def leaf_count(self, node: Node) -> int:
         """``|x|``: number of leaves contained in *node*'s subtree."""
+        index = self._index_for(node)
+        if index is not None:
+            return index.leaf_count(node.id)
         count = self._leaf_counts.get(id(node))
         if count is None:  # node created after context construction
             count = node.leaf_count()
@@ -142,8 +170,28 @@ class CriteriaContext:
 
         Implemented by walking the leaves of ``x`` and checking whether each
         partner lies under ``y``; every containment test counts as one
-        partner check (the paper's ``r2``).
+        partner check (the paper's ``r2``). With tree indexes the leaf walk
+        is a precomputed span and each containment test is O(1); both paths
+        count ``r2`` identically.
         """
+        index1, index2 = self.index1, self.index2
+        if (
+            index1 is not None
+            and index2 is not None
+            and index1.owns(x)
+            and index2.owns(y)
+        ):
+            count = 0
+            y_id = y.id
+            stats = self.stats
+            for leaf in index1.leaves_of(x.id):
+                partner_id = matching.partner1(leaf.id)
+                stats.partner_checks += 1
+                if partner_id is None:
+                    continue
+                if index2.is_under(partner_id, y_id):
+                    count += 1
+            return count
         count = 0
         for leaf in x.leaves():
             partner_id = matching.partner1(leaf.id)

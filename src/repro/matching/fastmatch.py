@@ -31,6 +31,7 @@ def fast_match(
     config: Optional[MatchConfig] = None,
     schema: Optional[LabelSchema] = None,
     stats: Optional[MatchingStats] = None,
+    context: Optional[CriteriaContext] = None,
 ) -> Matching:
     """Run Algorithm FastMatch and return the resulting matching.
 
@@ -43,20 +44,37 @@ def fast_match(
         from the two trees when omitted.
     stats:
         Optional counter sink for the §8 instrumentation (``r1``/``r2``).
+    context:
+        A prebuilt :class:`CriteriaContext` (the pipeline shares one, with
+        its tree indexes, across the match and postprocess stages). When it
+        carries indexes, label chains and label lists come from the index
+        instead of fresh preorder walks.
     """
-    context = CriteriaContext(t1, t2, config, stats)
+    if context is None:
+        context = CriteriaContext(t1, t2, config, stats)
     matching = Matching()
     if schema is None:
         schema = LabelSchema.infer([t1, t2])
 
-    # chain_T(l) for both trees: label -> nodes in left-to-right order.
-    chains1 = label_chains(t1)
-    chains2 = label_chains(t2)
-
-    leaf_labels = ordered_label_union(t1.leaf_labels(), t2.leaf_labels())
-    internal_labels = schema.sort_labels(
-        ordered_label_union(t1.internal_labels(), t2.internal_labels())
-    )
+    index1, index2 = context.index1, context.index2
+    if index1 is not None and index2 is not None:
+        # chain_T(l) and the label lists were materialized by the index pass.
+        chains1 = index1.chains()
+        chains2 = index2.chains()
+        leaf_labels = ordered_label_union(
+            index1.leaf_labels(), index2.leaf_labels()
+        )
+        internal_labels = schema.sort_labels(
+            ordered_label_union(index1.internal_labels(), index2.internal_labels())
+        )
+    else:
+        # chain_T(l) for both trees: label -> nodes in left-to-right order.
+        chains1 = label_chains(t1)
+        chains2 = label_chains(t2)
+        leaf_labels = ordered_label_union(t1.leaf_labels(), t2.leaf_labels())
+        internal_labels = schema.sort_labels(
+            ordered_label_union(t1.internal_labels(), t2.internal_labels())
+        )
 
     for label in leaf_labels:
         _match_label(

@@ -39,9 +39,15 @@ def postprocess_matching(
     matching: Matching,
     config: Optional[MatchConfig] = None,
     stats: Optional[MatchingStats] = None,
+    context: Optional[CriteriaContext] = None,
 ) -> int:
-    """Repair *matching* in place; return the number of changed pairs."""
-    context = CriteriaContext(t1, t2, config, stats)
+    """Repair *matching* in place; return the number of changed pairs.
+
+    Passing the matcher's *context* (as the pipeline does) reuses its leaf
+    counts and tree indexes instead of recomputing them for the repair pass.
+    """
+    if context is None:
+        context = CriteriaContext(t1, t2, config, stats)
     total = 0
     for _ in range(_MAX_ROUNDS):
         changed = _one_round(t1, t2, matching, context)

@@ -27,15 +27,25 @@ def match(
     t2: Tree,
     config: Optional[MatchConfig] = None,
     stats: Optional[MatchingStats] = None,
+    context: Optional[CriteriaContext] = None,
 ) -> Matching:
-    """Run Algorithm Match and return the resulting (maximal) matching."""
-    context = CriteriaContext(t1, t2, config, stats)
+    """Run Algorithm Match and return the resulting (maximal) matching.
+
+    A prebuilt *context* (the pipeline's, carrying shared tree indexes)
+    makes Criterion-2 evaluation use the indexed fast path and reuses the
+    index's label chains as the candidate buckets.
+    """
+    if context is None:
+        context = CriteriaContext(t1, t2, config, stats)
     matching = Matching()
 
     # Unmatched T2 candidates bucketed by label, in document order.
-    candidates: Dict[str, List[Node]] = {}
-    for node in t2.preorder():
-        candidates.setdefault(node.label, []).append(node)
+    if context.index2 is not None:
+        candidates: Dict[str, List[Node]] = context.index2.chains()
+    else:
+        candidates = {}
+        for node in t2.preorder():
+            candidates.setdefault(node.label, []).append(node)
     matched2: set = set()
 
     def try_match(x: Node) -> None:

@@ -30,11 +30,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from .core.errors import ReproError
-from .core.node import Node
 from .core.tree import Tree
-from .diff import tree_diff
 from .editscript.operations import Delete, EditOperation, Insert, Move, Update
 from .matching.criteria import MatchConfig
+from .pipeline import DiffConfig, DiffPipeline
 
 
 class MergeError(ReproError):
@@ -79,8 +78,14 @@ def three_way_merge(
     if base.root is None or left.root is None or right.root is None:
         raise MergeError("three_way_merge requires three non-empty trees")
 
-    diff_left = tree_diff(base, left, config=config)
-    diff_right = tree_diff(base, right, config=config)
+    # Both legs run on one pipeline; indexing the shared base once lets the
+    # second leg reuse it (reported as an index_cache_hit in its trace).
+    from .core.index import attach_index
+
+    attach_index(base)
+    pipeline = DiffPipeline(DiffConfig(match=config))
+    diff_left = pipeline.run(base, left)
+    diff_right = pipeline.run(base, right)
 
     # The merge working tree starts as the left version, but with *base*
     # node identifiers (the generator's transformed tree keeps them), so

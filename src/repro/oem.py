@@ -29,7 +29,7 @@ from typing import Any, Optional
 from .core.errors import ReproError
 from .core.node import Node
 from .core.tree import Tree
-from .diff import DiffResult, tree_diff
+from .pipeline import DiffConfig, DiffPipeline, DiffResult
 from .matching.criteria import MatchConfig
 
 LABEL_OBJECT = "object"
@@ -175,7 +175,7 @@ def json_diff(
     old_tree = data_to_tree(old)
     new_tree = data_to_tree(new)
     config = config if config is not None else oem_match_config()
-    result = tree_diff(old_tree, new_tree, config=config)
+    result = DiffPipeline(DiffConfig(match=config)).run(old_tree, new_tree)
     return JsonDiffResult(old_tree=old_tree, new_tree=new_tree, diff=result)
 
 

@@ -2,8 +2,8 @@
 
 The paper's warehouse scenario (§1) receives periodic snapshot dumps and
 must compute deltas for *many* pairs, most of them near-identical. The
-engine wraps :func:`repro.diff.tree_diff` with the three things that
-workload needs:
+engine wraps one shared :class:`repro.pipeline.DiffPipeline` with the three
+things that workload needs:
 
 1. **Merkle short-circuits** — equal root digests mean the snapshots are
    isomorphic, so the job completes with an empty script without running
@@ -35,9 +35,9 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from ..core.isomorphism import trees_isomorphic
 from ..core.serialization import tree_from_dict, tree_to_dict
 from ..core.tree import Tree
-from ..diff import tree_diff
 from ..editscript.script import EditScript
 from ..matching.criteria import MatchConfig
+from ..pipeline import DiffConfig, DiffPipeline
 from .cache import (
     ScriptCache,
     UncacheableScriptError,
@@ -72,6 +72,9 @@ class JobResult:
     old_digest: Optional[str] = None
     new_digest: Optional[str] = None
     summary: Dict[str, int] = field(default_factory=dict)
+    #: Per-pipeline-stage wall milliseconds for computed jobs (empty for
+    #: cache/digest hits and failures); from the pipeline's Trace.
+    stage_ms: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -113,7 +116,9 @@ def _process_diff(request: Dict[str, Any]) -> Dict[str, Any]:
     """Process-pool worker: rebuild the pair, diff, return a canonical payload.
 
     Module-level so it pickles; receives plain dicts (not Tree objects) to
-    keep the wire format explicit and version-independent.
+    keep the wire format explicit and version-independent. The payload is
+    wrapped together with the run's per-stage timings so the parent engine
+    can report them without shipping the whole Trace across the pipe.
     """
     old = tree_from_dict(request["old"])
     new = tree_from_dict(request["new"])
@@ -123,16 +128,18 @@ def _process_diff(request: Dict[str, Any]) -> Dict[str, Any]:
         match_empty_internals=request["mei"],
         always_match_roots=request["amr"],
     )
-    result = tree_diff(
-        old,
-        new,
-        config=config,
-        algorithm=request["algorithm"],
-        postprocess=request["postprocess"],
+    pipeline = DiffPipeline(
+        DiffConfig(
+            algorithm=request["algorithm"],
+            match=config,
+            postprocess=request["postprocess"],
+        )
     )
-    return canonicalize_script(
+    result = pipeline.run(old, new)
+    payload = canonicalize_script(
         result.script, old, result.edit.wrapped, result.edit.dummy_t1_id
     )
+    return {"payload": payload, "stage_ms": result.trace.stage_ms()}
 
 
 class DiffEngine:
@@ -143,7 +150,9 @@ class DiffEngine:
     workers:
         Concurrent jobs (and process-pool width in process mode).
     config, algorithm, postprocess:
-        Passed through to :func:`repro.diff.tree_diff` for every job.
+        The :class:`~repro.pipeline.DiffConfig` parameters applied to every
+        job; validated eagerly (a bad algorithm raises
+        :class:`~repro.core.errors.ConfigError` here, not per job).
     cache:
         A :class:`ScriptCache`, an int capacity for a fresh one, or ``None``
         to disable result caching (digest short-circuits still apply).
@@ -182,6 +191,12 @@ class DiffEngine:
         self.config = config
         self.algorithm = algorithm
         self.postprocess = postprocess
+        # One pipeline serves every job: run() keeps all per-run state in
+        # its Trace, so concurrent worker threads can share the instance.
+        # Raises ConfigError up front on a bad algorithm/config.
+        self._pipeline = DiffPipeline(
+            DiffConfig(algorithm=algorithm, match=config, postprocess=postprocess)
+        )
         if isinstance(cache, int):
             cache = ScriptCache(cache) if cache > 0 else None
         self.cache = cache
@@ -354,13 +369,16 @@ class DiffEngine:
             if attempt:
                 self.metrics.incr("jobs_retried")
             try:
-                payload = self._compute(old_tree, new_tree)
+                payload, stage_ms = self._compute(old_tree, new_tree)
                 break
             except Exception as exc:
                 last_error = exc
         else:
             raise last_error  # type: ignore[misc]
 
+        result.stage_ms = stage_ms
+        for stage, milliseconds in stage_ms.items():
+            self.metrics.observe_stage(stage, milliseconds)
         script, wrapped, dummy_id = self._bind(payload, old_tree)
         result.source = "computed"
         result.script = script
@@ -372,8 +390,15 @@ class DiffEngine:
         if self.cache is not None:
             self.cache.put(key, payload)
 
-    def _compute(self, old_tree: Tree, new_tree: Tree) -> Dict[str, Any]:
-        """Produce the canonical payload for one pair, locally or remotely."""
+    def _compute(
+        self, old_tree: Tree, new_tree: Tree
+    ) -> Tuple[Dict[str, Any], Dict[str, float]]:
+        """Produce ``(canonical payload, per-stage wall ms)`` for one pair.
+
+        Timings travel beside the payload, never inside it: the payload is
+        what gets cached, and a cache entry must not embed one particular
+        run's latencies.
+        """
         if self.executor == "process":
             config = self.config if self.config is not None else MatchConfig()
             request = {
@@ -386,16 +411,12 @@ class DiffEngine:
                 "algorithm": self.algorithm,
                 "postprocess": self.postprocess,
             }
-            return self._process_pool().submit(_process_diff, request).result()
-        diffed = tree_diff(
-            old_tree,
-            new_tree,
-            config=self.config,
-            algorithm=self.algorithm,
-            postprocess=self.postprocess,
-        )
+            response = self._process_pool().submit(_process_diff, request).result()
+            return response["payload"], response["stage_ms"]
+        diffed = self._pipeline.run(old_tree, new_tree)
+        stage_ms = diffed.trace.stage_ms() if diffed.trace is not None else {}
         try:
-            return canonicalize_script(
+            payload = canonicalize_script(
                 diffed.script,
                 old_tree,
                 diffed.edit.wrapped,
@@ -404,7 +425,7 @@ class DiffEngine:
         except UncacheableScriptError:
             # Fall back to an uncanonicalized payload bound to this pair's
             # real identifiers; still correct for this job, never cached.
-            return {
+            payload = {
                 "records": diffed.script.to_dicts(),
                 "wrapped": diffed.edit.wrapped,
                 "dummy_id": diffed.edit.dummy_t1_id,
@@ -412,6 +433,7 @@ class DiffEngine:
                 "summary": diffed.script.summary(),
                 "_unportable": True,
             }
+        return payload, stage_ms
 
     def _bind(self, payload: Dict[str, Any], old_tree: Tree) -> Tuple[EditScript, bool, Any]:
         if payload.get("_unportable"):

@@ -70,12 +70,21 @@ class LatencyHistogram:
 
 
 class ServiceMetrics:
-    """Thread-safe counters + a wall-time histogram for the diff engine."""
+    """Thread-safe counters + wall-time histograms for the diff engine.
+
+    Besides the whole-job ``wall_ms`` histogram, the metrics keep one
+    histogram per pipeline stage (``index``, ``match``, ``postprocess``,
+    ``editscript``, ``deltatree``), fed either directly by the engine from
+    each job's :class:`~repro.pipeline.Trace` or by subscribing
+    :meth:`stage_listener` to a :class:`~repro.pipeline.DiffPipeline`.
+    """
 
     def __init__(self, max_samples: int = 4096) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {name: 0 for name in STANDARD_COUNTERS}
+        self._max_samples = max_samples
         self.wall_ms = LatencyHistogram(max_samples)
+        self._stages: Dict[str, LatencyHistogram] = {}
 
     def incr(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -89,10 +98,45 @@ class ServiceMetrics:
         with self._lock:
             self.wall_ms.observe(milliseconds)
 
+    def observe_stage(self, stage: str, milliseconds: float) -> None:
+        """Record one pipeline-stage wall time under its stage name."""
+        with self._lock:
+            histogram = self._stages.get(stage)
+            if histogram is None:
+                histogram = self._stages[stage] = LatencyHistogram(self._max_samples)
+            histogram.observe(milliseconds)
+
+    def stage_listener(self):
+        """A span listener wiring a pipeline's trace into these metrics.
+
+        Pass the result to :class:`~repro.pipeline.DiffPipeline` (the
+        ``listeners`` argument or ``subscribe``): every stage span is then
+        recorded here as it closes.
+        """
+
+        def on_span(span) -> None:
+            self.observe_stage(span.name, span.wall_ms)
+
+        return on_span
+
+    def stage_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage latency stats (count/mean/p50/p95), JSON-friendly."""
+        with self._lock:
+            return {
+                name: {
+                    "count": hist.count,
+                    "mean_ms": round(hist.mean(), 3),
+                    "p50_ms": round(hist.percentile(50), 3),
+                    "p95_ms": round(hist.percentile(95), 3),
+                }
+                for name, hist in sorted(self._stages.items())
+            }
+
     def reset(self) -> None:
         with self._lock:
             self._counters = {name: 0 for name in STANDARD_COUNTERS}
             self.wall_ms = LatencyHistogram(self.wall_ms._max)
+            self._stages = {}
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
@@ -106,7 +150,11 @@ class ServiceMetrics:
                 "p95_ms": round(self.wall_ms.percentile(95), 3),
                 "max_ms": round(self.wall_ms.percentile(100), 3),
             }
-        return {"counters": counters, "wall_time": wall}
+        return {
+            "counters": counters,
+            "wall_time": wall,
+            "stages": self.stage_snapshot(),
+        }
 
     def render(self, cache_stats: Optional[Dict[str, int]] = None) -> str:
         """Human-readable summary block (used by ``repro-diff batch``)."""
@@ -123,6 +171,12 @@ class ServiceMetrics:
             f"n={wall['count']} mean={wall['mean_ms']} "
             f"p50={wall['p50_ms']} p95={wall['p95_ms']}"
         )
+        for stage, stats in snap["stages"].items():
+            lines.append(
+                f"stage {stage + ':':<18}"
+                f"n={stats['count']} mean={stats['mean_ms']} "
+                f"p50={stats['p50_ms']} p95={stats['p95_ms']}"
+            )
         if cache_stats is not None:
             lines.append(
                 "cache:                  "

@@ -33,10 +33,10 @@ from .core.errors import ReproError
 from .core.isomorphism import trees_isomorphic
 from .core.serialization import tree_from_dict, tree_to_dict
 from .core.tree import Tree
-from .diff import tree_diff
 from .editscript.invert import invert_script
 from .editscript.script import EditScript
 from .matching.criteria import MatchConfig
+from .pipeline import DiffConfig, DiffPipeline
 
 
 class VersionStoreError(ReproError):
@@ -82,6 +82,7 @@ class VersionStore:
         if checkout_cache_size < 0:
             raise ValueError("checkout_cache_size must be >= 0")
         self._config = config
+        self._pipeline = DiffPipeline(DiffConfig(match=config))
         self._engine = engine
         self._head_digest: Optional[str] = None
         self._checkout_cache: "OrderedDict[int, Tree]" = OrderedDict()
@@ -137,7 +138,7 @@ class VersionStore:
                     cost=0.0,
                     metadata={**metadata, "unchanged": True},
                 )
-        result = tree_diff(self._head, snapshot, config=self._config)
+        result = self._pipeline.run(self._head, snapshot)
         forward = result.script
 
         # Rebase the script onto the head's identifier space: the generator

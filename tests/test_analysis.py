@@ -14,7 +14,6 @@ from repro.analysis import (
     tree_pair_sizes,
 )
 from repro.core import Tree
-from repro.diff import tree_diff
 from repro.editscript import Delete, EditScript, Insert, Move, Update
 from repro.matching import MatchConfig
 from repro.workload import DocumentSpec, MutationEngine, generate_document

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.core import Tree, trees_isomorphic
+from repro.core import Tree
 from repro.baselines import (
     flat_diff,
     flat_diff_text,

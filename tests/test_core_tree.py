@@ -66,7 +66,7 @@ class TestConstruction:
     def test_generated_ids_skip_existing(self):
         tree = Tree()
         tree.create_node("D", None, node_id=1)
-        node = tree.create_node("S", "x", parent=tree.root, node_id=2)
+        tree.create_node("S", "x", parent=tree.root, node_id=2)
         fresh = tree.create_node("S", "y", parent=tree.root)
         assert fresh.id not in (1, 2)
 

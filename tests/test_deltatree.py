@@ -1,18 +1,7 @@
 """Tests for delta trees (Section 6): builder and annotations."""
 
-import pytest
-
 from repro.core import Tree
-from repro.deltatree import (
-    Del,
-    Idn,
-    Ins,
-    Mov,
-    Mrk,
-    Upd,
-    build_delta_tree,
-    change_summary,
-)
+from repro.deltatree import Idn, build_delta_tree, change_summary
 from repro.diff import tree_diff
 
 

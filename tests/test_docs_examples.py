@@ -3,8 +3,6 @@
 import re
 from pathlib import Path
 
-import pytest
-
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
@@ -63,6 +61,17 @@ class TestGuideSnippets:
         blocks = python_blocks("docs/guide.md")
         oem_block = next(b for b in blocks if "data_to_tree" in b)
         exec(compile(oem_block, "guide.md#oem", "exec"), {})
+
+    def test_pipeline_block_runs(self):
+        from repro import Tree
+        blocks = python_blocks("docs/guide.md")
+        pipeline_block = next(b for b in blocks if "DiffPipeline" in b)
+        namespace = {
+            "old_tree": Tree.from_obj(("D", None, [("S", "x y")])),
+            "new_tree": Tree.from_obj(("D", None, [("S", "x y z")])),
+        }
+        exec(compile(pipeline_block, "guide.md#pipeline", "exec"), namespace)
+        assert namespace["result"].rendered
 
     def test_merge_block_runs(self):
         from repro import Tree

@@ -5,14 +5,7 @@ import random
 import pytest
 
 from repro.core import Tree, trees_isomorphic
-from repro.editscript import (
-    DUMMY_ROOT_LABEL,
-    EditScript,
-    Insert,
-    Move,
-    Update,
-    generate_edit_script,
-)
+from repro.editscript import DUMMY_ROOT_LABEL, Update, generate_edit_script
 from repro.matching import Matching
 
 from conftest import random_document_tree

@@ -1,7 +1,5 @@
 """Tests for edit-script inversion."""
 
-import random
-
 import pytest
 
 from repro import Tree, tree_diff, trees_isomorphic

@@ -5,9 +5,7 @@ These complement the black-box invariants in test_editscript_generator with
 scenarios engineered to hit specific position-computation branches.
 """
 
-import pytest
-
-from repro.core import Tree, trees_isomorphic
+from repro.core import Tree
 from repro.editscript import Insert, Move, generate_edit_script
 from repro.matching import Matching
 

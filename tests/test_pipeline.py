@@ -1,0 +1,183 @@
+"""DiffPipeline: config validation, traces, and parity with the legacy wiring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConfigError, tree_diff
+from repro.core.index import attach_index
+from repro.editscript.generator import generate_edit_script
+from repro.matching.criteria import MatchConfig, MatchingStats
+from repro.matching.fastmatch import fast_match
+from repro.matching.postprocess import postprocess_matching
+from repro.matching.simple import match as simple_match
+from repro.pipeline import STAGES, DiffConfig, DiffPipeline, Trace
+from repro.workload import MutationEngine, generate_document
+from repro.workload.documents import DocumentSpec
+from repro.workload.random_trees import RandomTreeSpec, random_tree
+
+
+def legacy_diff(t1, t2, algorithm="fast", postprocess=True):
+    """The pre-pipeline wiring: direct calls, no shared indexes."""
+    stats = MatchingStats()
+    if algorithm == "fast":
+        matching = fast_match(t1, t2, stats=stats)
+    else:
+        matching = simple_match(t1, t2, stats=stats)
+    if postprocess:
+        postprocess_matching(t1, t2, matching, stats=stats)
+    return generate_edit_script(t1, t2, matching), stats
+
+
+def random_pair(seed, operations):
+    """A random tree and a mutated copy, per the workload generators."""
+    old = random_tree(seed, RandomTreeSpec(max_depth=4, max_children=4))
+    new = MutationEngine(seed + 1).mutate(old, operations).tree
+    return old, new
+
+
+class TestParity:
+    """Pipeline, legacy wiring, and tree_diff wrapper agree exactly."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        operations=st.integers(0, 15),
+        algorithm=st.sampled_from(["fast", "simple"]),
+    )
+    def test_pipeline_matches_legacy_wiring(self, seed, operations, algorithm):
+        old, new = random_pair(seed, operations)
+        result = DiffPipeline(DiffConfig(algorithm=algorithm)).run(old, new)
+        legacy_edit, legacy_stats = legacy_diff(old, new, algorithm=algorithm)
+        assert result.script.to_dicts() == legacy_edit.script.to_dicts()
+        assert result.cost() == legacy_edit.cost()
+        # Indexing changes how the §8 counters are computed, not their value.
+        assert result.match_stats.leaf_compares == legacy_stats.leaf_compares
+        assert result.match_stats.partner_checks == legacy_stats.partner_checks
+        assert result.verify(old, new)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        operations=st.integers(0, 15),
+        algorithm=st.sampled_from(["fast", "simple"]),
+    )
+    def test_wrapper_matches_pipeline(self, seed, operations, algorithm):
+        old, new = random_pair(seed, operations)
+        wrapped = tree_diff(old, new, algorithm=algorithm)
+        piped = DiffPipeline(DiffConfig(algorithm=algorithm)).run(old, new)
+        assert wrapped.script.to_dicts() == piped.script.to_dicts()
+        assert wrapped.cost() == piped.cost()
+
+    @pytest.mark.parametrize("algorithm", ["fast", "simple"])
+    def test_document_workload_parity(self, algorithm):
+        old = generate_document(3, DocumentSpec(sections=4,
+                                                paragraphs_per_section=4,
+                                                sentences_per_paragraph=4))
+        new = MutationEngine(4).mutate(old, 25).tree
+        result = DiffPipeline(DiffConfig(algorithm=algorithm)).run(old, new)
+        legacy_edit, _ = legacy_diff(old, new, algorithm=algorithm)
+        assert result.script.to_dicts() == legacy_edit.script.to_dicts()
+        assert result.cost() == legacy_edit.cost()
+
+    def test_postprocess_off_parity(self):
+        old, new = random_pair(99, 10)
+        result = DiffPipeline(DiffConfig(postprocess=False)).run(old, new)
+        legacy_edit, _ = legacy_diff(old, new, postprocess=False)
+        assert result.script.to_dicts() == legacy_edit.script.to_dicts()
+
+
+class TestConfigValidation:
+    def test_bad_algorithm(self):
+        with pytest.raises(ConfigError):
+            DiffConfig(algorithm="quantum")
+
+    def test_bad_render_format(self):
+        with pytest.raises(ConfigError):
+            DiffConfig(render="pdf")
+
+    def test_bad_match_type(self):
+        with pytest.raises(ConfigError):
+            DiffConfig(match={"t": 0.5})
+
+    def test_config_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            DiffConfig(algorithm="nope")
+
+    def test_render_implies_delta(self):
+        config = DiffConfig(render="text")
+        assert config.build_delta
+
+    def test_bad_thresholds_raise_config_error(self):
+        with pytest.raises(ConfigError):
+            DiffConfig(match=MatchConfig(t=1.5))
+
+
+class TestTrace:
+    def test_stages_and_counters(self):
+        old, new = random_pair(7, 8)
+        result = DiffPipeline(DiffConfig()).run(old, new)
+        trace = result.trace
+        stage_ms = trace.stage_ms()
+        assert set(stage_ms) == {"index", "match", "postprocess", "editscript"}
+        assert set(stage_ms) <= set(STAGES)
+        assert all(ms >= 0.0 for ms in stage_ms.values())
+        assert trace.total_ms() == pytest.approx(sum(stage_ms.values()))
+        assert trace.counters["nodes_t1"] == len(old)
+        assert trace.counters["nodes_t2"] == len(new)
+        assert trace.counters["leaf_compares"] == result.match_stats.leaf_compares
+        assert trace.counters["partner_checks"] == result.match_stats.partner_checks
+        assert trace.counters["operations"] == len(result.script)
+        assert trace.counters["index_cache_hits"] == 0
+
+    def test_deltatree_stage_present_when_rendering(self):
+        old, new = random_pair(11, 5)
+        result = DiffPipeline(DiffConfig(render="text")).run(old, new)
+        assert "deltatree" in result.trace.stage_ms()
+        assert result.delta is not None
+        assert isinstance(result.rendered, str)
+
+    def test_index_cache_hits_with_attached_indexes(self):
+        old, new = random_pair(13, 5)
+        attach_index(old)
+        attach_index(new)
+        result = DiffPipeline(DiffConfig()).run(old, new)
+        assert result.trace.counters["index_cache_hits"] == 2
+
+    def test_listeners_see_every_span(self):
+        old, new = random_pair(17, 5)
+        seen = []
+        pipeline = DiffPipeline(DiffConfig())
+        pipeline.subscribe(lambda span: seen.append(span.name))
+        result = pipeline.run(old, new)
+        assert seen == list(result.trace.stage_ms())
+
+    def test_to_dict_and_render(self):
+        old, new = random_pair(19, 5)
+        trace = DiffPipeline(DiffConfig()).run(old, new).trace
+        exported = trace.to_dict()
+        assert set(exported) == {"stages", "counters"}
+        assert [entry["name"] for entry in exported["stages"]] == list(
+            trace.stage_ms()
+        )
+        text = trace.render()
+        assert "match" in text and "editscript" in text
+
+    def test_precomputed_matching_skips_match_stages(self):
+        old, new = random_pair(23, 5)
+        first = DiffPipeline(DiffConfig()).run(old, new)
+        second = DiffPipeline(DiffConfig()).run(old, new, matching=first.matching)
+        assert "match" not in second.trace.stage_ms()
+        assert "postprocess" not in second.trace.stage_ms()
+        assert second.script.to_dicts() == first.script.to_dicts()
+
+
+class TestTraceStandalone:
+    def test_span_and_incr(self):
+        trace = Trace()
+        with trace.span("index") as span:
+            span.meta["nodes"] = 3
+        trace.incr("index_cache_hits")
+        trace.incr("index_cache_hits")
+        assert trace.counters["index_cache_hits"] == 2
+        assert list(trace.stage_ms()) == ["index"]

@@ -1,11 +1,9 @@
 """Hypothesis properties for inversion, the version store, and A(k)."""
 
-import random
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Tree, VersionStore, tree_diff, trees_isomorphic
+from repro import VersionStore, tree_diff, trees_isomorphic
 from repro.editscript import invert_script
 from repro.matching import parameterized_match
 from repro.editscript.generator import generate_edit_script

@@ -126,7 +126,6 @@ class TestDigestIsomorphismProperty:
                 assert same_digest == trees_isomorphic(a, b)
 
     def test_over_random_trees(self):
-        rng = random.Random(7)
         trees = []
         for seed in range(10):
             tree = random_tree(seed, RandomTreeSpec(max_depth=3, max_children=4))

@@ -4,7 +4,7 @@ import time
 
 import pytest
 
-from repro import Tree, trees_isomorphic
+from repro import Tree
 from repro.core.errors import ParseError
 from repro.service import DiffEngine, ScriptCache, ServiceMetrics
 from repro.workload import DocumentSpec, MutationEngine, generate_document

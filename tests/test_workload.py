@@ -1,11 +1,8 @@
 """Tests for workload generation: random trees, documents, mutations, corpora."""
 
-import random
-
 import pytest
 
 from repro.core import trees_isomorphic
-from repro.matching import criterion3_holds
 from repro.workload import (
     DocumentGenerator,
     DocumentSpec,
