@@ -29,6 +29,8 @@ Public surface:
 * :mod:`repro.analysis` — edit-distance metrics and the §8 instrumentation.
 * :mod:`repro.service` — concurrent diff engine with Merkle digests,
   result caching, and service metrics (the §1 warehouse serving layer).
+* :mod:`repro.verify` — conformance oracles, differential checks against
+  the baselines, and the seeded fuzzing harness.
 """
 
 from .core.errors import ConfigError
@@ -48,6 +50,15 @@ from .pipeline import DiffConfig, DiffPipeline, Trace
 from .service.engine import DiffEngine
 from .service.digest import tree_fingerprint
 from .store import VersionStore
+from .verify import (
+    FuzzConfig,
+    FuzzReport,
+    VerifyReport,
+    Violation,
+    differential_check,
+    run_fuzz,
+    verify_result,
+)
 
 __version__ = "1.1.0"
 
@@ -58,6 +69,8 @@ __all__ = [
     "DiffPipeline",
     "DiffResult",
     "EditScript",
+    "FuzzConfig",
+    "FuzzReport",
     "MatchConfig",
     "Matching",
     "MergeResult",
@@ -65,13 +78,18 @@ __all__ = [
     "Trace",
     "Tree",
     "TreeIndex",
+    "VerifyReport",
     "VersionStore",
+    "Violation",
     "__version__",
+    "differential_check",
     "fast_match",
     "generate_edit_script",
     "match",
+    "run_fuzz",
     "three_way_merge",
     "tree_diff",
     "tree_fingerprint",
     "trees_isomorphic",
+    "verify_result",
 ]

@@ -11,6 +11,10 @@ Subcommands
 ``batch``    Diff a manifest of old/new tree-file pairs through the
              concurrent :class:`repro.service.DiffEngine` and print a
              service-metrics summary.
+``verify``   Run the conformance-oracle battery: either on one pair of
+             tree files, or as a seeded sweep over generated workloads.
+``fuzz``     Seeded differential fuzzing with shrinking: on a violation,
+             minimize the failing pair, write a JSON repro file, exit 1.
 
 Examples::
 
@@ -18,6 +22,9 @@ Examples::
     repro-diff script old.sexpr new.sexpr --json
     repro-diff stats old.tex new.tex
     repro-diff batch pairs.manifest --workers 8 --save-cache warm.json
+    repro-diff verify --seed 42 --iterations 500
+    repro-diff verify old.json new.json
+    repro-diff fuzz --seed 1 --iterations 1000 --repro-dir repros/
 """
 
 from __future__ import annotations
@@ -36,6 +43,13 @@ from .core.tree import Tree
 from .ladiff.pipeline import default_match_config, ladiff
 from .pipeline import DiffConfig, DiffPipeline
 from .service.engine import DiffEngine
+from .verify.fuzz import (
+    INJECTED_BUGS,
+    FuzzConfig,
+    check_pair,
+    default_runner,
+    run_fuzz,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,7 +154,80 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "-f", type=float, default=0.6, help="leaf threshold f (default 0.6)"
     )
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="run the conformance-oracle battery (one pair, or a seeded sweep)",
+    )
+    p_verify.add_argument(
+        "old", nargs="?", default=None, help="old tree file (.sexpr or .json)"
+    )
+    p_verify.add_argument(
+        "new", nargs="?", default=None, help="new tree file (.sexpr or .json)"
+    )
+    _add_fuzz_options(p_verify, iterations=100)
+    p_verify.add_argument(
+        "--json", action="store_true", help="emit the verify report as JSON"
+    )
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded differential fuzzing with shrinking and JSON repro files",
+    )
+    _add_fuzz_options(p_fuzz, iterations=200)
+    p_fuzz.add_argument(
+        "--repro-dir", default=".", metavar="DIR",
+        help="directory for shrunk JSON repro files (default: current dir)",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="emit the original failing pair without minimizing it",
+    )
+    p_fuzz.add_argument(
+        "--max-failures", type=int, default=1,
+        help="stop after this many distinct failing pairs (default 1)",
+    )
+    p_fuzz.add_argument(
+        "--inject-bug", choices=sorted(INJECTED_BUGS), default=None,
+        help="fuzz a deliberately broken pipeline (harness self-test)",
+    )
+    p_fuzz.add_argument(
+        "--json", action="store_true", help="emit the fuzz report as JSON"
+    )
     return parser
+
+
+def _add_fuzz_options(parser: argparse.ArgumentParser, iterations: int) -> None:
+    """Options shared by the ``verify`` sweep and the ``fuzz`` loop."""
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed (default 0)"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=iterations,
+        help=f"generated pairs to check (default {iterations})",
+    )
+    parser.add_argument(
+        "--max-nodes", type=int, default=60,
+        help="node ceiling per generated tree (default 60)",
+    )
+    parser.add_argument(
+        "--max-zs-nodes", type=int, default=20,
+        help="Zhang-Shasha reference ceiling per tree (default 20)",
+    )
+    parser.add_argument(
+        "--algorithm", choices=("fast", "simple", "both"), default="both",
+        help="matching algorithm(s) under test (default: both)",
+    )
+    parser.add_argument(
+        "--no-differential", action="store_true",
+        help="skip the Match-vs-FastMatch-vs-baseline crosschecks",
+    )
+    parser.add_argument(
+        "-t", type=float, default=0.5, help="match threshold t (default 0.5)"
+    )
+    parser.add_argument(
+        "-f", type=float, default=0.6, help="leaf threshold f (default 0.6)"
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -158,6 +245,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_stats(args)
         if args.command == "batch":
             return _cmd_batch(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
     except ConfigError as exc:
         # One typed error covers every invalid-configuration path (bad
         # thresholds, unknown algorithm/format) across all subcommands.
@@ -352,6 +443,88 @@ def _cmd_batch(args) -> int:
     if failed:
         print(f"{failed} of {len(results)} jobs failed", file=sys.stderr)
     return 1 if failed else 0
+
+
+def _fuzz_config(args, **overrides) -> FuzzConfig:
+    algorithms = (
+        ("fast", "simple") if args.algorithm == "both" else (args.algorithm,)
+    )
+    options = dict(
+        seed=args.seed,
+        iterations=args.iterations,
+        max_nodes=args.max_nodes,
+        max_zs_nodes=args.max_zs_nodes,
+        algorithms=algorithms,
+        match=default_match_config(t=args.t, f=args.f),
+        differential=not args.no_differential,
+    )
+    options.update(overrides)
+    return FuzzConfig(**options)
+
+
+def _cmd_verify(args) -> int:
+    if (args.old is None) != (args.new is None):
+        print("error: verify needs both OLD and NEW (or neither)", file=sys.stderr)
+        return 2
+    config = _fuzz_config(args, shrink=False)
+    if args.old is not None:
+        # Single-pair mode: the full battery on two tree files.
+        report = check_pair(
+            _load_tree(args.old), _load_tree(args.new), config, default_runner
+        )
+    else:
+        fuzzed = run_fuzz(config)
+        report = fuzzed.report
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz(args) -> int:
+    config = _fuzz_config(
+        args,
+        shrink=not args.no_shrink,
+        repro_dir=args.repro_dir,
+        max_failures=max(1, args.max_failures),
+    )
+    runner = INJECTED_BUGS[args.inject_bug] if args.inject_bug else None
+    fuzzed = run_fuzz(config, runner=runner)
+    if args.json:
+        print(json.dumps(
+            {
+                "ok": fuzzed.ok,
+                "iterations": fuzzed.iterations_run,
+                "report": fuzzed.report.to_dict(),
+                "failures": [
+                    {
+                        "iteration": f.iteration,
+                        "workload": f.workload,
+                        "violations": f.violations,
+                        "original_nodes": f.original_nodes,
+                        "shrunk_nodes": f.shrunk_nodes,
+                        "repro": f.repro_path,
+                    }
+                    for f in fuzzed.failures
+                ],
+            },
+            indent=2,
+        ))
+        return 0 if fuzzed.ok else 1
+    print(fuzzed.report.render())
+    print(f"{fuzzed.iterations_run} iterations, {len(fuzzed.failures)} failing pair(s)")
+    for failure in fuzzed.failures:
+        print(
+            f"FAIL iter {failure.iteration} ({failure.workload}): "
+            f"shrunk {failure.original_nodes} -> {failure.shrunk_nodes} nodes",
+            file=sys.stderr,
+        )
+        for violation in failure.violations[:5]:
+            print(f"  {violation}", file=sys.stderr)
+        if failure.repro_path:
+            print(f"  repro: {failure.repro_path}", file=sys.stderr)
+    return 0 if fuzzed.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -217,6 +217,19 @@ def build_delta_tree(
     if t1.root is not None and t1.root.id in deleted_t1:
         root.children.append(build_deleted_subtree(t1.root))
 
+    # Likewise a moved T1 root (possible when the roots were unmatched and
+    # the generator dummy-wrapped both trees): its MRK tombstone has no old
+    # parent to anchor under, so it too lands at the end of the root.
+    if t1.root is not None and t1.root.id in seen_moves:
+        root.children.append(
+            DeltaNode(
+                t1.root.label,
+                t1.root.value,
+                Mrk(marker=marker_keys[t1.root.id]),
+                t1_id=t1.root.id,
+            )
+        )
+
     # T1 preorder guarantees a parent's tombstone (if any) is created before
     # its children need it as a target.
     for node in t1.preorder():

@@ -237,6 +237,18 @@ class DiffResult:
         """Replay the script on *t1* and compare against *t2*."""
         return self.edit.verify(t1, t2)
 
+    def oracle_report(self, t1: Tree, t2: Tree, config=None):
+        """Run the full :mod:`repro.verify` oracle battery on this result.
+
+        Returns a :class:`~repro.verify.oracles.VerifyReport`; pass the
+        :class:`~repro.matching.criteria.MatchConfig` the diff ran with to
+        also check the matching criteria. (Lazy import: ``repro.verify``
+        depends on this module.)
+        """
+        from .verify.oracles import verify_result
+
+        return verify_result(t1, t2, self, config=config)
+
 
 # ---------------------------------------------------------------------------
 # The pipeline

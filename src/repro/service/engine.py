@@ -26,6 +26,8 @@ default :class:`~repro.matching.criteria.MatchConfig` in the children from
 
 from __future__ import annotations
 
+import math
+import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -75,6 +77,9 @@ class JobResult:
     #: Per-pipeline-stage wall milliseconds for computed jobs (empty for
     #: cache/digest hits and failures); from the pipeline's Trace.
     stage_ms: Dict[str, float] = field(default_factory=dict)
+    #: Outcome of the engine's oracle spot check: ``True``/``False`` when
+    #: this job was sampled (``verify_fraction``), ``None`` when it wasn't.
+    verified: Optional[bool] = None
 
     @property
     def ok(self) -> bool:
@@ -167,6 +172,14 @@ class DiffEngine:
         reported as ``status="error"``.
     executor:
         ``"thread"`` (default) or ``"process"`` for multi-core compute.
+    verify_fraction:
+        Fraction of successful jobs (0.0–1.0) to re-check with the
+        script-level oracles from :mod:`repro.verify.oracles` (replay
+        isomorphism, cost accounting / conservation law). Sampling is
+        deterministic — job ``n`` is checked when ``floor(n * fraction)``
+        crosses an integer — and outcomes land on
+        :attr:`JobResult.verified`, the ``verify_checks`` /
+        ``verify_failures`` counters, and the metrics' ``verify`` section.
     """
 
     def __init__(
@@ -180,6 +193,7 @@ class DiffEngine:
         timeout: Optional[float] = None,
         retries: int = 0,
         executor: str = "thread",
+        verify_fraction: float = 0.0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -187,6 +201,10 @@ class DiffEngine:
             raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if not 0.0 <= verify_fraction <= 1.0:
+            raise ValueError(
+                f"verify_fraction must be in [0.0, 1.0], got {verify_fraction}"
+            )
         self.workers = workers
         self.config = config
         self.algorithm = algorithm
@@ -207,6 +225,9 @@ class DiffEngine:
         self._config_key = config_key(config, algorithm, postprocess)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._procs: Optional[ProcessPoolExecutor] = None
+        self.verify_fraction = verify_fraction
+        self._verify_lock = threading.Lock()
+        self._verify_seen = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -316,6 +337,8 @@ class DiffEngine:
             if not isinstance(old_tree, Tree) or not isinstance(new_tree, Tree):
                 raise TypeError("job inputs must be Tree objects or loaders returning them")
             self._diff_into(result, old_tree, new_tree)
+            if self._should_verify():
+                result.verified = self._spot_check(result, old_tree, new_tree)
         except Exception as exc:
             result.status = "error"
             result.source = None
@@ -329,6 +352,78 @@ class DiffEngine:
             self.metrics.incr("jobs_failed")
         self.metrics.observe_wall(result.wall_ms)
         return result
+
+    def _should_verify(self) -> bool:
+        """Deterministic sampling: check job *n* when ``floor(n·f)`` steps."""
+        if self.verify_fraction <= 0.0:
+            return False
+        with self._verify_lock:
+            self._verify_seen += 1
+            n = self._verify_seen
+        return math.floor(n * self.verify_fraction) > math.floor(
+            (n - 1) * self.verify_fraction
+        )
+
+    def _spot_check(self, result: JobResult, old_tree: Tree, new_tree: Tree) -> bool:
+        """Script-level oracles on a served result (replay + accounting).
+
+        Cache and digest hits carry no matching, so only the oracles that
+        need the script alone run here; the full battery lives in
+        :func:`repro.verify.oracles.verify_result`.
+        """
+        from ..verify.oracles import VerifyReport, Violation
+
+        report = VerifyReport()
+        replay_violations = []
+        try:
+            if not result.verify(old_tree, new_tree):
+                replay_violations.append(
+                    Violation(
+                        "replay_isomorphism",
+                        "served script does not transform old into new",
+                        {"job": result.job_id, "source": result.source},
+                    )
+                )
+        except Exception as exc:
+            replay_violations.append(
+                Violation(
+                    "replay_isomorphism",
+                    "served script failed to replay",
+                    {"job": result.job_id, "error": f"{type(exc).__name__}: {exc}"},
+                )
+            )
+        report.record("replay_isomorphism", replay_violations)
+
+        accounting = []
+        script = result.script
+        if script is not None:
+            if len(script.inserts) - len(script.deletes) != len(new_tree) - len(old_tree):
+                accounting.append(
+                    Violation(
+                        "cost_accounting",
+                        "conservation law violated: #INS - #DEL != |new| - |old|",
+                        {"job": result.job_id},
+                    )
+                )
+            if abs(result.cost - script.cost()) > 1e-9:
+                accounting.append(
+                    Violation(
+                        "cost_accounting",
+                        "served cost differs from the script's cost",
+                        {
+                            "job": result.job_id,
+                            "served": result.cost,
+                            "script": script.cost(),
+                        },
+                    )
+                )
+        report.record("cost_accounting", accounting)
+
+        self.metrics.absorb_verify_report(report)
+        self.metrics.incr("verify_checks")
+        if not report.ok:
+            self.metrics.incr("verify_failures")
+        return report.ok
 
     def _diff_into(self, result: JobResult, old_tree: Tree, new_tree: Tree) -> None:
         old_index = cached_digests(old_tree)

@@ -13,6 +13,8 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional
 
+from ..verify.oracles import VerifyReport
+
 #: Counter names the engine maintains; unknown names are allowed (the
 #: metrics object is schemaless) but these are always present in snapshots.
 STANDARD_COUNTERS = (
@@ -25,6 +27,8 @@ STANDARD_COUNTERS = (
     "cache_misses",
     "digest_short_circuits",
     "ops_emitted",
+    "verify_checks",
+    "verify_failures",
 )
 
 
@@ -85,6 +89,7 @@ class ServiceMetrics:
         self._max_samples = max_samples
         self.wall_ms = LatencyHistogram(max_samples)
         self._stages: Dict[str, LatencyHistogram] = {}
+        self.verify = VerifyReport()
 
     def incr(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -119,6 +124,13 @@ class ServiceMetrics:
 
         return on_span
 
+    def absorb_verify_report(self, report: VerifyReport) -> None:
+        """Fold a :class:`~repro.verify.oracles.VerifyReport` into the
+        metrics (the engine's ``verify_fraction`` spot checks, or any
+        external battery run against served results)."""
+        with self._lock:
+            self.verify.merge(report)
+
     def stage_snapshot(self) -> Dict[str, Dict[str, float]]:
         """Per-stage latency stats (count/mean/p50/p95), JSON-friendly."""
         with self._lock:
@@ -137,6 +149,7 @@ class ServiceMetrics:
             self._counters = {name: 0 for name in STANDARD_COUNTERS}
             self.wall_ms = LatencyHistogram(self.wall_ms._max)
             self._stages = {}
+            self.verify = VerifyReport()
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
@@ -150,10 +163,13 @@ class ServiceMetrics:
                 "p95_ms": round(self.wall_ms.percentile(95), 3),
                 "max_ms": round(self.wall_ms.percentile(100), 3),
             }
+        with self._lock:
+            verify = self.verify.to_dict()
         return {
             "counters": counters,
             "wall_time": wall,
             "stages": self.stage_snapshot(),
+            "verify": verify,
         }
 
     def render(self, cache_stats: Optional[Dict[str, int]] = None) -> str:
@@ -176,6 +192,14 @@ class ServiceMetrics:
                 f"stage {stage + ':':<18}"
                 f"n={stats['count']} mean={stats['mean_ms']} "
                 f"p50={stats['p50_ms']} p95={stats['p95_ms']}"
+            )
+        verify = snap["verify"]
+        if verify["oracles"]:
+            status = "ok" if verify["ok"] else "FAIL"
+            checked = sum(o["pass"] + o["fail"] for o in verify["oracles"].values())
+            failed = sum(o["fail"] for o in verify["oracles"].values())
+            lines.append(
+                f"verify:                 checks={checked} failures={failed} [{status}]"
             )
         if cache_stats is not None:
             lines.append(

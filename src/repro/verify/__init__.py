@@ -1,0 +1,82 @@
+"""Verification subsystem: oracles, differential checks, and fuzzing.
+
+``repro.verify`` turns the paper's guarantees into executable checks:
+
+* :mod:`~repro.verify.oracles` — pure per-result invariant checkers and
+  the :class:`VerifyReport` accumulator;
+* :mod:`~repro.verify.differential` — Match vs FastMatch vs baseline
+  crosschecks, including the Zhang–Shasha optimality lower bound;
+* :mod:`~repro.verify.fuzz` — the seeded fuzz loop with shrinking and
+  JSON repro files, exposed on the CLI as ``repro-diff verify`` and
+  ``repro-diff fuzz``.
+"""
+
+from .differential import (
+    DifferentialOutcome,
+    differential_check,
+    flat_dominance_check,
+    is_flat_pair,
+    zs_lower_bound_check,
+    zs_script_bound,
+)
+from .fuzz import (
+    INJECTED_BUGS,
+    FuzzConfig,
+    FuzzFailure,
+    FuzzReport,
+    Runner,
+    check_pair,
+    default_runner,
+    generate_pair,
+    load_repro,
+    run_fuzz,
+    run_repro,
+    shrink_pair,
+    write_repro,
+)
+from .oracles import (
+    MAX_SAMPLES,
+    ORACLES,
+    VerifyReport,
+    Violation,
+    check_conformance,
+    check_cost_accounting,
+    check_delta_consistency,
+    check_index_consistency,
+    check_matching_validity,
+    check_replay,
+    verify_result,
+)
+
+__all__ = [
+    "DifferentialOutcome",
+    "differential_check",
+    "flat_dominance_check",
+    "is_flat_pair",
+    "zs_lower_bound_check",
+    "zs_script_bound",
+    "INJECTED_BUGS",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "Runner",
+    "check_pair",
+    "default_runner",
+    "generate_pair",
+    "load_repro",
+    "run_fuzz",
+    "run_repro",
+    "shrink_pair",
+    "write_repro",
+    "MAX_SAMPLES",
+    "ORACLES",
+    "VerifyReport",
+    "Violation",
+    "check_conformance",
+    "check_cost_accounting",
+    "check_delta_consistency",
+    "check_index_consistency",
+    "check_matching_validity",
+    "check_replay",
+    "verify_result",
+]

@@ -49,6 +49,10 @@ def random_tree(
     spec = spec if spec is not None else RandomTreeSpec()
     tree = Tree()
     root = tree.create_node(spec.root_label, None)
+    # Materialize the label/word pools once, not per node.
+    leaf_labels = list(spec.leaf_labels)
+    internal_labels = list(spec.internal_labels)
+    vocabulary = list(spec.vocabulary)
 
     def grow(parent, depth: int) -> None:
         children = rng.randint(spec.min_children, spec.max_children)
@@ -56,13 +60,13 @@ def random_tree(
             make_leaf = depth >= spec.max_depth or rng.random() < spec.leaf_probability
             if make_leaf:
                 tree.create_node(
-                    rng.choice(list(spec.leaf_labels)),
-                    random_sentence(rng, spec.words_per_leaf, spec.vocabulary),
+                    rng.choice(leaf_labels),
+                    random_sentence(rng, spec.words_per_leaf, vocabulary),
                     parent=parent,
                 )
             else:
                 node = tree.create_node(
-                    rng.choice(list(spec.internal_labels)), None, parent=parent
+                    rng.choice(internal_labels), None, parent=parent
                 )
                 grow(node, depth + 1)
 
@@ -77,7 +81,8 @@ def random_sentence(
 ) -> str:
     """A random word sequence of roughly *mean_words* words."""
     count = max(1, int(rng.gauss(mean_words, mean_words / 3)))
-    return " ".join(rng.choice(list(vocabulary)) for _ in range(count))
+    words = list(vocabulary)
+    return " ".join(rng.choice(words) for _ in range(count))
 
 
 def random_flat_tree(
