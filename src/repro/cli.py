@@ -15,6 +15,8 @@ Subcommands
              tree files, or as a seeded sweep over generated workloads.
 ``fuzz``     Seeded differential fuzzing with shrinking: on a violation,
              minimize the failing pair, write a JSON repro file, exit 1.
+``serve``    Run the asyncio HTTP diff service (:mod:`repro.serve`):
+             admission control, backpressure, graceful SIGTERM drain.
 
 Examples::
 
@@ -25,6 +27,10 @@ Examples::
     repro-diff verify --seed 42 --iterations 500
     repro-diff verify old.json new.json
     repro-diff fuzz --seed 1 --iterations 1000 --repro-dir repros/
+    repro-diff serve --port 8765 --workers 4 --queue-depth 16
+
+All ``--json`` output is serialized with sorted keys, so byte-identical
+inputs produce byte-identical output across runs and Python versions.
 """
 
 from __future__ import annotations
@@ -194,6 +200,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--json", action="store_true", help="emit the fuzz report as JSON"
     )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP diff service (repro.serve) until SIGTERM"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port; 0 binds an ephemeral port (default 8765)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4, help="engine worker threads (default 4)"
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="result-cache capacity; 0 disables caching (default 256)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="max in-flight compute requests before 429 (default 16)",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=0.0,
+        help="per-client requests/second; 0 disables rate limiting (default 0)",
+    )
+    p_serve.add_argument(
+        "--burst", type=float, default=10.0,
+        help="per-client token-bucket burst capacity (default 10)",
+    )
+    p_serve.add_argument(
+        "--max-body-kb", type=int, default=1024,
+        help="request-body cap in KiB before 413 (default 1024)",
+    )
+    p_serve.add_argument(
+        "--deadline-ms", type=float, default=30_000.0,
+        help="default per-request deadline before 504 (default 30000)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to flush in-flight work on SIGTERM (default 30)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=0, help="retries per failed job (default 0)"
+    )
+    p_serve.add_argument(
+        "--verify-fraction", type=float, default=0.0,
+        help="fraction of served diffs to spot-check with the oracles (default 0)",
+    )
+    p_serve.add_argument(
+        "--algorithm", choices=("fast", "simple"), default="fast",
+        help="matching algorithm (default: fast)",
+    )
+    p_serve.add_argument(
+        "-t", type=float, default=0.5, help="match threshold t (default 0.5)"
+    )
+    p_serve.add_argument(
+        "-f", type=float, default=0.6, help="leaf threshold f (default 0.6)"
+    )
     return parser
 
 
@@ -249,6 +312,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_verify(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except ConfigError as exc:
         # One typed error covers every invalid-configuration path (bad
         # thresholds, unknown algorithm/format) across all subcommands.
@@ -304,7 +369,7 @@ def _cmd_script(args) -> int:
         print("internal error: script failed verification", file=sys.stderr)
         return 1
     if args.json:
-        print(json.dumps(result.script.to_dicts(), indent=2))
+        print(json.dumps(result.script.to_dicts(), indent=2, sort_keys=True))
     else:
         for op in result.script:
             print(op)
@@ -426,6 +491,7 @@ def _cmd_batch(args) -> int:
                 "cache": engine.cache.stats() if engine.cache is not None else None,
             },
             indent=2,
+            sort_keys=True,
         ))
         return 1 if failed else 0
 
@@ -443,6 +509,37 @@ def _cmd_batch(args) -> int:
     if failed:
         print(f"{failed} of {len(results)} jobs failed", file=sys.stderr)
     return 1 if failed else 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve.app import ServeConfig, run_server
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            algorithm=args.algorithm,
+            match=default_match_config(t=args.t, f=args.f),
+            retries=args.retries,
+            verify_fraction=args.verify_fraction,
+            queue_capacity=args.queue_depth,
+            rate=args.rate,
+            burst=args.burst,
+            max_body_bytes=args.max_body_kb * 1024,
+            deadline_ms=args.deadline_ms,
+            drain_timeout=args.drain_timeout,
+        )
+        return run_server(
+            config,
+            announce=lambda url: print(
+                f"repro-diff serve: listening on {url}", flush=True
+            ),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _fuzz_config(args, **overrides) -> FuzzConfig:
@@ -476,7 +573,7 @@ def _cmd_verify(args) -> int:
         fuzzed = run_fuzz(config)
         report = fuzzed.report
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.render())
     return 0 if report.ok else 1
@@ -510,6 +607,7 @@ def _cmd_fuzz(args) -> int:
                 ],
             },
             indent=2,
+            sort_keys=True,
         ))
         return 0 if fuzzed.ok else 1
     print(fuzzed.report.render())

@@ -1,0 +1,48 @@
+"""repro.serve: the diff service on the network.
+
+The paper's setting is change detection for *autonomous* data sources —
+snapshots arrive from elsewhere, deltas are computed centrally (§1). This
+package is that boundary: a stdlib-only asyncio HTTP/1.1 JSON service
+wrapping :class:`repro.service.DiffEngine`, with explicit overload
+behavior (admission control, backpressure, deadlines), graceful drain on
+SIGTERM, and a blocking client that retries transient failures with
+capped jittered backoff.
+
+Quickstart::
+
+    from repro.serve import ServeConfig, ServerThread, DiffServiceClient
+
+    with ServerThread(ServeConfig(port=0, workers=2)) as handle:
+        client = DiffServiceClient(port=handle.port)
+        out = client.diff(old_tree, new_tree)
+        print(out["operations"], out["source"])
+    # leaving the block drains in-flight work and stops the server
+
+From the shell: ``repro-diff serve --port 8765`` (SIGTERM drains and
+prints a final deterministic ``METRICS {json}`` line).
+"""
+
+from .admission import AdmissionController, Deadline, Decision, RateLimiter, TokenBucket
+from .app import DiffServer, ServeConfig, ServerThread, run_server
+from .client import DiffServiceClient, ServiceError
+from .lifecycle import Lifecycle, dump_final_metrics
+from .protocol import PROTOCOL, HttpError, job_result_to_dict
+
+__all__ = [
+    "PROTOCOL",
+    "AdmissionController",
+    "Deadline",
+    "Decision",
+    "DiffServer",
+    "DiffServiceClient",
+    "HttpError",
+    "Lifecycle",
+    "RateLimiter",
+    "ServeConfig",
+    "ServerThread",
+    "ServiceError",
+    "TokenBucket",
+    "dump_final_metrics",
+    "job_result_to_dict",
+    "run_server",
+]

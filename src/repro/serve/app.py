@@ -1,0 +1,592 @@
+"""The asyncio HTTP/1.1 diff service: routing, handlers, serve loop.
+
+A deliberately small, stdlib-only HTTP server (no frameworks, matching the
+repo's no-new-runtime-deps rule) that puts :class:`repro.service.DiffEngine`
+on the network:
+
+========  ==============  ====================================================
+method    path            behavior
+========  ==============  ====================================================
+POST      ``/v1/diff``    diff one ``{"old": ..., "new": ...}`` snapshot pair
+POST      ``/v1/batch``   diff a ``{"pairs": [...]}`` array in one request
+POST      ``/v1/verify``  run the conformance-oracle battery on one pair
+GET       ``/healthz``    liveness + draining state (never admission-gated)
+GET       ``/metrics``    deterministic JSON snapshot of ServiceMetrics
+========  ==============  ====================================================
+
+Compute requests pass through :class:`~repro.serve.admission.AdmissionController`
+(413 / 429 + ``Retry-After`` / 504 / 503-while-draining; see that module)
+and run on the engine's worker pool via ``run_in_executor`` so the event
+loop only ever parses, routes, and writes — it never blocks on matching.
+
+Concurrency note: an expired deadline answers the *request* with 504, but
+the underlying pool job is not forcibly killed (CPython offers no safe
+preemption). The admission slot is returned with the response — the
+*engine's* worker pool still bounds actual compute — and shutdown waits
+for stragglers: ``engine.close()`` joins its pool after the drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+from ..matching.criteria import MatchConfig
+from ..service.engine import DiffEngine
+from ..service.metrics import ServiceMetrics
+from .admission import AdmissionController, Deadline
+from .lifecycle import Lifecycle, dump_final_metrics
+from .protocol import (
+    PROTOCOL,
+    STATUS_PHRASES,
+    HttpError,
+    dumps,
+    job_result_to_dict,
+    pairs_from_batch,
+    parse_body,
+    require_pair,
+)
+
+#: Upper bound on header lines per request (anti-abuse, not a real limit).
+MAX_HEADERS = 100
+
+#: Compute endpoints (admission-gated); GET endpoints bypass admission.
+COMPUTE_ROUTES = frozenset({"/v1/diff", "/v1/batch", "/v1/verify"})
+
+
+@dataclass
+class ServeConfig:
+    """Everything the server needs, CLI-mappable one flag per field."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765  #: 0 binds an ephemeral port (reported after start)
+    workers: int = 4
+    cache_size: int = 256
+    algorithm: str = "fast"
+    match: Optional[MatchConfig] = None
+    postprocess: bool = True
+    retries: int = 0
+    verify_fraction: float = 0.0
+    queue_capacity: int = 16
+    rate: float = 0.0  #: per-client tokens/second; 0 disables rate limiting
+    burst: float = 10.0
+    max_body_bytes: int = 1 << 20
+    deadline_ms: float = 30_000.0
+    max_batch: int = 64
+    drain_timeout: float = 30.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class DiffServer:
+    """One engine, one admission controller, one listening socket."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        engine: Optional[DiffEngine] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        if engine is not None:
+            self.engine = engine
+            self.engine.metrics = self.metrics
+        else:
+            self.engine = DiffEngine(
+                workers=self.config.workers,
+                config=self.config.match,
+                algorithm=self.config.algorithm,
+                postprocess=self.config.postprocess,
+                cache=self.config.cache_size,
+                metrics=self.metrics,
+                retries=self.config.retries,
+                verify_fraction=self.config.verify_fraction,
+            )
+        self.admission = AdmissionController(
+            queue_capacity=self.config.queue_capacity,
+            rate=self.config.rate,
+            burst=self.config.burst,
+            max_body_bytes=self.config.max_body_bytes,
+            default_deadline_ms=self.config.deadline_ms,
+            mean_wall_ms=lambda: self.metrics.wall_ms.mean(),
+        )
+        self.lifecycle = Lifecycle(drain_timeout=self.config.drain_timeout)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started = time.monotonic()
+        self.port: Optional[int] = None  #: actual bound port once started
+        self._job_seq = 0
+        # Loop-thread-only state: requests between first byte and last byte
+        # (drain waits on this — admission releases before the response is
+        # written) and the open connection tasks (cancelled post-drain so
+        # idle keep-alive sockets don't outlive the loop noisily).
+        self._active_requests = 0
+        self._conn_tasks: set = set()
+
+    # ------------------------------------------------------------------
+    # Serve loop
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket (resolving port 0 to the real port)."""
+        self.lifecycle.bind(asyncio.get_running_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def run(
+        self,
+        install_signals: bool = True,
+        announce: Optional[Callable[[str], None]] = None,
+        dump_metrics: bool = True,
+    ) -> Dict[str, Any]:
+        """Serve until shutdown is requested, drain, return final metrics."""
+        if self._server is None:
+            await self.start()
+        if install_signals:
+            self.lifecycle.install_signal_handlers()
+        if announce is not None:
+            announce(f"http://{self.config.host}:{self.port}")
+        try:
+            await self.lifecycle.wait_for_shutdown()
+            await self.lifecycle.drain(
+                self._server,
+                lambda: self._active_requests + self.admission.in_flight,
+            )
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        finally:
+            self._server = None
+            self.engine.close()
+        snapshot = self.metrics_payload()
+        if dump_metrics:
+            dump_final_metrics(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        peer_id = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else "unknown"
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                keep_alive = await self._handle_one_request(reader, writer, peer_id)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            pass  # post-drain cleanup of an idle keep-alive socket
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_one_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, peer_id: str
+    ) -> bool:
+        """Read, dispatch, and answer one request; True to keep the socket."""
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return False
+        started = time.perf_counter()
+        self.metrics.incr("http_requests")
+        self._active_requests += 1
+        try:
+            return await self._process_request(
+                reader, writer, peer_id, request_line, started
+            )
+        finally:
+            self._active_requests -= 1
+
+    async def _process_request(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        peer_id: str,
+        request_line: bytes,
+        started: float,
+    ) -> bool:
+        keep_alive = True
+        status = 500
+        body_read = False
+        try:
+            method, path, version = self._parse_request_line(request_line)
+            headers = await self._read_headers(reader)
+            wants_close = headers.get("connection", "").lower() == "close"
+            keep_alive = version == "HTTP/1.1" and not wants_close
+            body = await self._read_body(reader, method, headers)
+            body_read = True
+            client = headers.get("x-client-id", peer_id)
+            status, payload, extra = await self._dispatch(
+                method, path, headers, body, client
+            )
+        except HttpError as exc:
+            status, payload, extra = exc.status, exc.body(), {}
+            if exc.retry_after is not None:
+                extra["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
+            if not body_read:
+                # The request body was never consumed (413, bad framing):
+                # the socket is mid-stream, so it cannot be reused.
+                keep_alive = False
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # never let a handler bug kill the server
+            self.metrics.incr("http_internal_errors")
+            status = 500
+            payload = {
+                "error": "internal",
+                "message": f"{type(exc).__name__}: {exc}",
+                "protocol": PROTOCOL,
+            }
+            extra = {}
+        if self.lifecycle.draining:
+            keep_alive = False
+        self._count_response(status)
+        self.metrics.observe_stage("http", (time.perf_counter() - started) * 1000.0)
+        await self._respond(writer, status, payload, extra, keep_alive)
+        return keep_alive
+
+    @staticmethod
+    def _parse_request_line(raw: bytes) -> Tuple[str, str, str]:
+        try:
+            text = raw.decode("latin-1").rstrip("\r\n")
+            method, target, version = text.split(" ")
+        except ValueError:
+            raise HttpError(400, "bad_request_line", f"malformed request line: {raw!r}")
+        if version not in ("HTTP/1.0", "HTTP/1.1"):
+            raise HttpError(400, "bad_request_line", f"unsupported version {version}")
+        return method.upper(), target.split("?", 1)[0], version
+
+    @staticmethod
+    async def _read_headers(reader: asyncio.StreamReader) -> Dict[str, str]:
+        headers: Dict[str, str] = {}
+        for _ in range(MAX_HEADERS):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                return headers
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        raise HttpError(400, "bad_headers", f"more than {MAX_HEADERS} header lines")
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, method: str, headers: Dict[str, str]
+    ) -> bytes:
+        if method not in ("POST", "PUT"):
+            return b""
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise HttpError(501, "chunked_unsupported", "send Content-Length, not chunked")
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            raise HttpError(411, "length_required", "POST requires Content-Length")
+        try:
+            length = int(raw_length)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            raise HttpError(400, "bad_length", f"invalid Content-Length {raw_length!r}")
+        if not self.admission.body_allowed(length):
+            self.metrics.incr("rejected_too_large")
+            raise HttpError(
+                413,
+                "too_large",
+                f"body of {length} bytes exceeds the "
+                f"{self.admission.max_body_bytes}-byte limit",
+            )
+        return await reader.readexactly(length) if length else b""
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Dict[str, str],
+        keep_alive: bool,
+    ) -> None:
+        body = dumps(payload)
+        phrase = STATUS_PHRASES.get(status, "Unknown")
+        head = [
+            f"HTTP/1.1 {status} {phrase}",
+            f"Server: {PROTOCOL}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        head.extend(f"{name}: {value}" for name, value in extra_headers.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    def _count_response(self, status: int) -> None:
+        self.metrics.incr(f"http_responses_{status // 100}xx")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        client: str,
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if path == "/healthz":
+            self._require_method(method, "GET", path)
+            return 200, self.health_payload(), {}
+        if path == "/metrics":
+            self._require_method(method, "GET", path)
+            return 200, self.metrics_payload(), {}
+        if path in COMPUTE_ROUTES:
+            self._require_method(method, "POST", path)
+            data = parse_body(body)
+            payload = await self._admitted(path, data, headers, client)
+            return 200, payload, {}
+        raise HttpError(404, "not_found", f"no route for {path}")
+
+    @staticmethod
+    def _require_method(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise HttpError(405, "method_not_allowed", f"{path} only accepts {expected}")
+
+    async def _admitted(
+        self, path: str, data: Dict[str, Any], headers: Dict[str, str], client: str
+    ) -> Dict[str, Any]:
+        """The shared admission bracket around every compute endpoint."""
+        if self.lifecycle.draining:
+            self.metrics.incr("rejected_draining")
+            raise HttpError(
+                503, "draining", "server is draining; retry elsewhere", retry_after=1.0
+            )
+        decision = self.admission.try_admit(client)
+        if not decision.admitted:
+            self.metrics.incr(f"rejected_{decision.reason}")
+            raise HttpError(
+                429,
+                decision.reason,
+                f"admission refused ({decision.reason}); retry later",
+                retry_after=decision.retry_after,
+            )
+        deadline = self.admission.deadline(self._requested_deadline(data, headers))
+        try:
+            if path == "/v1/diff":
+                return await self._handle_diff(data, deadline)
+            if path == "/v1/batch":
+                return await self._handle_batch(data, deadline)
+            return await self._handle_verify(data, deadline)
+        finally:
+            self.admission.release()
+
+    @staticmethod
+    def _requested_deadline(
+        data: Dict[str, Any], headers: Dict[str, str]
+    ) -> Optional[float]:
+        raw = data.get("deadline_ms", headers.get("x-deadline-ms"))
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except (TypeError, ValueError):
+            raise HttpError(400, "bad_deadline", f"deadline_ms {raw!r} is not a number")
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _await_with_deadline(self, awaitable: Awaitable, deadline: Deadline):
+        remaining = deadline.remaining()
+        if remaining <= 0.0:
+            self.metrics.incr("deadline_timeouts")
+            raise HttpError(
+                504, "deadline", "deadline exhausted before compute started"
+            )
+        try:
+            return await asyncio.wait_for(awaitable, timeout=remaining)
+        except asyncio.TimeoutError:
+            self.metrics.incr("deadline_timeouts")
+            raise HttpError(
+                504,
+                "deadline",
+                f"no result within the {deadline.budget_s * 1000.0:.0f}ms deadline",
+            )
+
+    def _next_job_id(self, prefix: str) -> str:
+        self._job_seq += 1
+        return f"{prefix}-{self._job_seq}"
+
+    async def _handle_diff(
+        self, data: Dict[str, Any], deadline: Deadline
+    ) -> Dict[str, Any]:
+        old, new = require_pair(data)
+        job_id = str(data.get("id", self._next_job_id("http")))
+        future = asyncio.wrap_future(self.engine.submit(old, new, job_id=job_id))
+        result = await self._await_with_deadline(future, deadline)
+        include_script = bool(data.get("include_script", True))
+        return job_result_to_dict(result, include_script=include_script)
+
+    async def _handle_batch(
+        self, data: Dict[str, Any], deadline: Deadline
+    ) -> Dict[str, Any]:
+        pairs = pairs_from_batch(data, self.config.max_batch)
+        futures = [
+            asyncio.wrap_future(self.engine.submit(old, new, job_id=job_id))
+            for old, new, job_id in pairs
+        ]
+        results = await self._await_with_deadline(asyncio.gather(*futures), deadline)
+        include_script = bool(data.get("include_script", True))
+        jobs = [job_result_to_dict(r, include_script=include_script) for r in results]
+        return {
+            "jobs": jobs,
+            "failed": sum(1 for r in results if not r.ok),
+            "protocol": PROTOCOL,
+        }
+
+    async def _handle_verify(
+        self, data: Dict[str, Any], deadline: Deadline
+    ) -> Dict[str, Any]:
+        from ..verify.fuzz import FuzzConfig, check_pair, default_runner
+
+        old, new = require_pair(data)
+        algorithm = data.get("algorithm", "both")
+        if algorithm not in ("fast", "simple", "both"):
+            raise HttpError(400, "bad_algorithm", f"unknown algorithm {algorithm!r}")
+        algorithms = ("fast", "simple") if algorithm == "both" else (algorithm,)
+        config = FuzzConfig(
+            algorithms=algorithms,
+            match=self.config.match,
+            differential=bool(data.get("differential", False)),
+            shrink=False,
+        )
+        loop = asyncio.get_running_loop()
+        report = await self._await_with_deadline(
+            loop.run_in_executor(None, check_pair, old, new, config, default_runner),
+            deadline,
+        )
+        self.metrics.absorb_verify_report(report)
+        out = report.to_dict()
+        out["protocol"] = PROTOCOL
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection payloads
+    # ------------------------------------------------------------------
+    def health_payload(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self.lifecycle.draining else "ok",
+            "in_flight": self.admission.in_flight,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "protocol": PROTOCOL,
+        }
+
+    def metrics_payload(self) -> Dict[str, Any]:
+        snapshot = self.metrics.snapshot()
+        snapshot["server"] = dict(self.admission.stats())
+        snapshot["server"]["draining"] = self.lifecycle.draining
+        cache = self.engine.cache
+        snapshot["cache"] = cache.stats() if cache is not None else None
+        snapshot["protocol"] = PROTOCOL
+        return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+def run_server(
+    config: Optional[ServeConfig] = None,
+    announce: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Blocking foreground entry point used by ``repro-diff serve``.
+
+    Installs SIGTERM/SIGINT drain handlers, serves until one arrives,
+    drains, prints the final ``METRICS`` line, and returns a process exit
+    code (0 = clean drain, 1 = in-flight work abandoned at the timeout).
+    """
+    server = DiffServer(config)
+
+    async def _main() -> Dict[str, Any]:
+        await server.start()
+        return await server.run(install_signals=True, announce=announce)
+
+    asyncio.run(_main())
+    return 0 if server.lifecycle.drained_clean is not False else 1
+
+
+class ServerThread:
+    """A DiffServer on a background thread — tests and benchmarks.
+
+    ``start()`` returns once the socket is bound (``.port`` is then real);
+    ``stop()`` runs the same drain sequence SIGTERM would and returns the
+    final metrics snapshot.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        engine: Optional[DiffEngine] = None,
+    ) -> None:
+        self.server = DiffServer(config, engine=engine)
+        self._ready = threading.Event()
+        self._final: Optional[Dict[str, Any]] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    @property
+    def port(self) -> int:
+        port = self.server.port
+        assert port is not None, "server not started"
+        return port
+
+    def _main(self) -> None:
+        async def body() -> None:
+            await self.server.start()
+            self._ready.set()
+            self._final = await self.server.run(
+                install_signals=False, dump_metrics=False
+            )
+
+        try:
+            asyncio.run(body())
+        except BaseException as exc:  # surfaced to the joining thread
+            self._error = exc
+            self._ready.set()
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server failed to start in time")
+        if self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error!r}")
+        return self
+
+    def stop(self, timeout: float = 10.0) -> Dict[str, Any]:
+        self.server.lifecycle.request_shutdown()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server did not drain in time")
+        if self._error is not None:
+            raise RuntimeError(f"server crashed: {self._error!r}")
+        assert self._final is not None
+        return self._final
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *_exc: Any) -> None:
+        if self._thread.is_alive():
+            self.stop()

@@ -1,0 +1,281 @@
+"""A blocking stdlib client for the diff service, with disciplined retries.
+
+Transient failures — 429 (admission refused), 5xx, dropped connections —
+are retried with **capped exponential backoff and full jitter**: attempt
+``k`` sleeps ``uniform(0, min(cap, base * 2**k))`` seconds, so a herd of
+clients hammered off a restarting server does not re-synchronize into
+thundering waves. When the server supplies its own estimate (the
+``Retry-After`` header / ``retry_after_s`` body field the admission layer
+emits), the client honors it as a *floor*: it never retries sooner than
+the server asked, and still adds its jittered share on top of nothing.
+
+Hard 4xx failures (bad request, not found, too large) are never retried —
+resending a malformed body cannot fix it — and surface as
+:class:`ServiceError` carrying the decoded error payload.
+
+The clock and randomness are injectable (``sleep=``, ``rng=``) so retry
+schedules are unit-testable in microseconds.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..core.tree import Tree
+from .protocol import PROTOCOL, RETRYABLE_STATUSES, tree_to_payload
+
+#: Wire form of a snapshot accepted by the helpers below.
+TreeLike = Union[Tree, Dict[str, Any], str]
+
+
+class ServiceError(Exception):
+    """A definitive (non-retryable or retries-exhausted) request failure."""
+
+    def __init__(self, status: int, payload: Dict[str, Any], attempts: int) -> None:
+        reason = payload.get("error", "error")
+        message = payload.get("message", "")
+        super().__init__(
+            f"HTTP {status} ({reason}) after {attempts} attempt(s): {message}"
+        )
+        self.status = status
+        self.payload = payload
+        self.attempts = attempts
+
+
+class DiffServiceClient:
+    """Blocking HTTP client for :mod:`repro.serve.app`.
+
+    Parameters
+    ----------
+    host, port:
+        Where the service listens.
+    retries:
+        Retry budget for *transient* failures (429/5xx/connection drops);
+        the first attempt is not a retry, so up to ``retries + 1``
+        requests go out.
+    backoff_base, backoff_cap:
+        Full-jitter schedule: attempt ``k`` waits
+        ``uniform(0, min(backoff_cap, backoff_base * 2**k))`` seconds.
+    max_retry_after:
+        Upper bound honored for server-supplied ``Retry-After`` hints
+        (a misbehaving server cannot park the client for an hour).
+    timeout:
+        Socket timeout per attempt, seconds.
+    client_id:
+        Sent as ``X-Client-Id`` so the server's per-client rate limiter
+        sees a stable identity across reconnects.
+    sleep, rng:
+        Injection points for tests (defaults: ``time.sleep``, a private
+        ``random.Random()``).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        retries: int = 4,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+        max_retry_after: float = 30.0,
+        timeout: float = 30.0,
+        client_id: Optional[str] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.max_retry_after = max_retry_after
+        self.timeout = timeout
+        self.client_id = client_id
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._conn: Optional[http.client.HTTPConnection] = None
+        #: Backoff delays actually slept, newest last (observability/tests).
+        self.sleeps: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "DiffServiceClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def request_once(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """One attempt, no retries: ``(status, decoded body, headers)``.
+
+        Connection-level failures propagate as :class:`OSError` /
+        ``http.client`` exceptions; the load generator in
+        ``benchmarks/bench_serve.py`` uses this to observe raw 429s.
+        """
+        conn = self._connection()
+        headers = {"Content-Type": "application/json", "Accept": "application/json"}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
+        body = None
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except Exception:
+            self.close()  # a half-dead keep-alive socket must not be reused
+            raise
+        if response.headers.get("Connection", "").lower() == "close":
+            self.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            decoded = {"error": "bad_response", "message": raw[:200].decode("latin-1")}
+        if not isinstance(decoded, dict):
+            decoded = {"value": decoded}
+        return response.status, decoded, dict(response.headers)
+
+    # ------------------------------------------------------------------
+    # Retry policy
+    # ------------------------------------------------------------------
+    def _backoff(self, attempt: int, retry_after: float) -> float:
+        jittered = self._rng.uniform(
+            0.0, min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+        )
+        floor = min(max(retry_after, 0.0), self.max_retry_after)
+        return max(floor, jittered)
+
+    @staticmethod
+    def _retry_after_hint(payload: Dict[str, Any], headers: Dict[str, str]) -> float:
+        value = payload.get("retry_after_s")
+        if value is None:
+            value = headers.get("Retry-After", headers.get("retry-after"))
+        try:
+            return float(value) if value is not None else 0.0
+        except (TypeError, ValueError):
+            return 0.0
+
+    def request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Send with the retry policy; return the decoded 2xx body."""
+        last_status, last_payload = 0, {"error": "unreachable", "message": ""}
+        for attempt in range(self.retries + 1):
+            retry_after = 0.0
+            try:
+                status, decoded, headers = self.request_once(method, path, payload)
+            except (OSError, socket.timeout, http.client.HTTPException) as exc:
+                last_status = 0
+                last_payload = {
+                    "error": "connection",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            else:
+                if status < 400:
+                    return decoded
+                last_status, last_payload = status, decoded
+                if status not in RETRYABLE_STATUSES:
+                    raise ServiceError(status, decoded, attempt + 1)
+                retry_after = self._retry_after_hint(decoded, headers)
+            if attempt < self.retries:
+                delay = self._backoff(attempt, retry_after)
+                self.sleeps.append(delay)
+                self._sleep(delay)
+        raise ServiceError(last_status, last_payload, self.retries + 1)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wire_tree(tree: TreeLike) -> Union[Dict[str, Any], str, None]:
+        return tree_to_payload(tree) if isinstance(tree, Tree) else tree
+
+    def diff(
+        self,
+        old: TreeLike,
+        new: TreeLike,
+        deadline_ms: Optional[float] = None,
+        include_script: bool = True,
+        job_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "old": self._wire_tree(old),
+            "new": self._wire_tree(new),
+            "include_script": include_script,
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if job_id is not None:
+            payload["id"] = job_id
+        return self.request("POST", "/v1/diff", payload)
+
+    def batch(
+        self,
+        pairs: List[Tuple[TreeLike, TreeLike]],
+        deadline_ms: Optional[float] = None,
+        include_script: bool = True,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "pairs": [
+                {"old": self._wire_tree(old), "new": self._wire_tree(new)}
+                for old, new in pairs
+            ],
+            "include_script": include_script,
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self.request("POST", "/v1/batch", payload)
+
+    def verify(
+        self, old: TreeLike, new: TreeLike, algorithm: str = "both"
+    ) -> Dict[str, Any]:
+        return self.request(
+            "POST",
+            "/v1/verify",
+            {
+                "old": self._wire_tree(old),
+                "new": self._wire_tree(new),
+                "algorithm": algorithm,
+            },
+        )
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("GET", "/metrics")
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> bool:
+        """Poll ``/healthz`` until the server answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                health = self.request_once("GET", "/healthz")[1]
+                if health.get("protocol") == PROTOCOL:
+                    return True
+            except (OSError, http.client.HTTPException):
+                pass
+            time.sleep(interval)
+        return False

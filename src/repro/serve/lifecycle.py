@@ -1,0 +1,120 @@
+"""Graceful shutdown: stop accepting, flush in-flight work, dump metrics.
+
+The drain sequence on SIGTERM/SIGINT (or a programmatic
+:meth:`Lifecycle.request_shutdown`):
+
+1. flip to *draining* — ``/healthz`` starts reporting it and every new
+   compute request is refused with 503 + ``Retry-After`` so load
+   balancers and retrying clients move on immediately;
+2. close the listening socket (no new connections);
+3. wait for the admission controller's in-flight count to reach zero,
+   bounded by ``drain_timeout`` seconds (jobs still running after that
+   are abandoned to process teardown — they are compute-only and hold no
+   external resources);
+4. shut the engine's worker pools down and emit one final deterministic
+   ``METRICS {json}`` line so the last scrape is never lost.
+
+The class is asyncio-native (the waiters run on the server's loop) but
+exposes thread-safe entry points — ``request_shutdown`` may be called
+from a signal handler or from another thread (tests, benchmarks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from typing import Any, Callable, Dict, Optional, TextIO
+
+#: Signals that trigger a graceful drain when handlers are installed.
+DRAIN_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+class Lifecycle:
+    """Drain orchestration shared by the app, the CLI, and the tests."""
+
+    def __init__(self, drain_timeout: float = 30.0) -> None:
+        self.drain_timeout = drain_timeout
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.draining = False
+        self.drained_clean: Optional[bool] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Attach to the serving loop (called once, from that loop)."""
+        self._loop = loop
+        self._shutdown_event = asyncio.Event()
+
+    def install_signal_handlers(self) -> bool:
+        """Route SIGTERM/SIGINT into :meth:`request_shutdown`.
+
+        Returns False where the platform lacks loop signal handlers
+        (e.g. Windows); the caller may fall back to ``signal.signal``.
+        """
+        assert self._loop is not None, "bind() must run first"
+        try:
+            for signum in DRAIN_SIGNALS:
+                self._loop.add_signal_handler(signum, self.request_shutdown)
+        except (NotImplementedError, RuntimeError):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def request_shutdown(self) -> None:
+        """Flip draining and wake the serve loop; safe from any thread."""
+        self.draining = True
+        loop, event = self._loop, self._shutdown_event
+        if loop is None or event is None:
+            return
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            event.set()
+        else:
+            loop.call_soon_threadsafe(event.set)
+
+    async def wait_for_shutdown(self) -> None:
+        assert self._shutdown_event is not None, "bind() must run first"
+        await self._shutdown_event.wait()
+
+    async def drain(
+        self,
+        server: Optional[asyncio.AbstractServer],
+        in_flight: Callable[[], int],
+        poll_s: float = 0.02,
+    ) -> bool:
+        """Run steps 2-3 of the sequence; True when all work flushed."""
+        self.draining = True
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        deadline = (
+            asyncio.get_running_loop().time() + self.drain_timeout
+            if self.drain_timeout is not None
+            else None
+        )
+        while in_flight() > 0:
+            if deadline is not None and asyncio.get_running_loop().time() >= deadline:
+                self.drained_clean = False
+                return False
+            await asyncio.sleep(poll_s)
+        self.drained_clean = True
+        return True
+
+
+def dump_final_metrics(
+    snapshot: Dict[str, Any], stream: Optional[TextIO] = None
+) -> str:
+    """Emit the final ``METRICS {json}`` line (deterministic key order)."""
+    line = "METRICS " + json.dumps(snapshot, sort_keys=True)
+    out = stream if stream is not None else sys.stdout
+    print(line, file=out, flush=True)
+    return line

@@ -1,0 +1,175 @@
+"""Wire format of the diff service: JSON payloads and HTTP status mapping.
+
+The service speaks plain HTTP/1.1 with JSON bodies, all of it stdlib. Trees
+travel in the dict format of :mod:`repro.core.serialization` (or as
+s-expression strings, which parse through the same front door as the CLI),
+and every response body is a JSON object serialized deterministically
+(``sort_keys=True``) so clients, tests, and logs see byte-stable output.
+
+Errors are modelled as :class:`HttpError` — raised anywhere while handling
+a request, rendered once into a JSON error body by the app. Overload
+responses (429/503) carry a ``Retry-After`` header that
+:class:`repro.serve.client.DiffServiceClient` honors.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import ParseError
+from ..core.serialization import tree_from_dict, tree_from_sexpr, tree_to_dict
+from ..core.tree import Tree
+
+#: Protocol identifier echoed in every response and checked by the client.
+PROTOCOL = "repro-serve/1"
+
+#: Reason phrases for the status codes the service emits.
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Status codes the client treats as transient and retries.
+RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+
+class HttpError(Exception):
+    """A request failure with an HTTP status, JSON-rendered by the app.
+
+    ``retry_after`` (seconds) becomes a ``Retry-After`` header — the
+    admission layer sets it on 429/503 so well-behaved clients back off by
+    the server's own estimate instead of guessing.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        reason: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+        self.message = message
+        self.retry_after = retry_after
+
+    def body(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "error": self.reason,
+            "message": self.message,
+            "protocol": PROTOCOL,
+        }
+        if self.retry_after is not None:
+            out["retry_after_s"] = round(self.retry_after, 3)
+        return out
+
+
+def dumps(payload: Any) -> bytes:
+    """Deterministic JSON encoding used for every response body."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def parse_body(raw: bytes) -> Dict[str, Any]:
+    """Decode a request body into a JSON object (400 on anything else)."""
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise HttpError(400, "bad_json", f"request body is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise HttpError(400, "bad_json", "request body must be a JSON object")
+    return data
+
+
+def tree_from_payload(spec: Any, field: str) -> Tree:
+    """Materialize the ``old``/``new`` field of a request into a Tree.
+
+    Accepts the nested-dict format (JSON snapshots) or an s-expression
+    string (the compact text form used by fixtures and the CLI).
+    """
+    try:
+        if isinstance(spec, dict):
+            return tree_from_dict(spec)
+        if isinstance(spec, str):
+            return tree_from_sexpr(spec)
+    except (ParseError, KeyError, TypeError, ValueError) as exc:
+        raise HttpError(400, "bad_tree", f"field {field!r} does not parse: {exc}")
+    raise HttpError(
+        400, "bad_tree", f"field {field!r} must be a tree dict or s-expression string"
+    )
+
+
+def require_pair(data: Dict[str, Any]) -> Tuple[Tree, Tree]:
+    """Extract and parse the mandatory ``old``/``new`` snapshot pair."""
+    missing = [field for field in ("old", "new") if field not in data]
+    if missing:
+        raise HttpError(
+            400, "missing_field", f"missing required field(s): {', '.join(missing)}"
+        )
+    return (
+        tree_from_payload(data["old"], "old"),
+        tree_from_payload(data["new"], "new"),
+    )
+
+
+def job_result_to_dict(result: Any, include_script: bool = True) -> Dict[str, Any]:
+    """JSON-friendly view of a :class:`repro.service.engine.JobResult`."""
+    out: Dict[str, Any] = {
+        "job_id": result.job_id,
+        "status": result.status,
+        "source": result.source,
+        "operations": result.operations,
+        "cost": result.cost,
+        "wall_ms": round(result.wall_ms, 3),
+        "attempts": result.attempts,
+        "old_digest": result.old_digest,
+        "new_digest": result.new_digest,
+        "summary": dict(result.summary),
+        "stage_ms": {stage: round(ms, 3) for stage, ms in result.stage_ms.items()},
+        "error": result.error,
+        "verified": result.verified,
+        "protocol": PROTOCOL,
+    }
+    if include_script and result.script is not None:
+        out["script"] = {
+            "records": result.script.to_dicts(),
+            "wrapped": result.wrapped,
+        }
+    return out
+
+
+def pairs_from_batch(data: Dict[str, Any], max_pairs: int) -> List[Tuple[Tree, Tree, str]]:
+    """Extract the ``pairs`` list of a ``/v1/batch`` request."""
+    pairs = data.get("pairs")
+    if not isinstance(pairs, list) or not pairs:
+        raise HttpError(
+            400, "missing_field", "batch body needs a non-empty 'pairs' array"
+        )
+    if len(pairs) > max_pairs:
+        raise HttpError(
+            413,
+            "batch_too_large",
+            f"batch of {len(pairs)} pairs exceeds the per-request cap of {max_pairs}",
+        )
+    out: List[Tuple[Tree, Tree, str]] = []
+    for index, entry in enumerate(pairs):
+        if not isinstance(entry, dict):
+            raise HttpError(400, "bad_pair", f"pairs[{index}] must be an object")
+        old, new = require_pair(entry)
+        out.append((old, new, str(entry.get("id", f"pair-{index}"))))
+    return out
+
+
+def tree_to_payload(tree: Tree) -> Optional[Dict[str, Any]]:
+    """Client-side helper: the wire form of a snapshot (dict format)."""
+    return tree_to_dict(tree)

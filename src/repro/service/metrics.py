@@ -132,7 +132,7 @@ class ServiceMetrics:
             self.verify.merge(report)
 
     def stage_snapshot(self) -> Dict[str, Dict[str, float]]:
-        """Per-stage latency stats (count/mean/p50/p95), JSON-friendly."""
+        """Per-stage latency stats (count/mean/p50/p95/p99), JSON-friendly."""
         with self._lock:
             return {
                 name: {
@@ -140,6 +140,7 @@ class ServiceMetrics:
                     "mean_ms": round(hist.mean(), 3),
                     "p50_ms": round(hist.percentile(50), 3),
                     "p95_ms": round(hist.percentile(95), 3),
+                    "p99_ms": round(hist.percentile(99), 3),
                 }
                 for name, hist in sorted(self._stages.items())
             }
@@ -161,6 +162,7 @@ class ServiceMetrics:
                 "mean_ms": round(self.wall_ms.mean(), 3),
                 "p50_ms": round(self.wall_ms.percentile(50), 3),
                 "p95_ms": round(self.wall_ms.percentile(95), 3),
+                "p99_ms": round(self.wall_ms.percentile(99), 3),
                 "max_ms": round(self.wall_ms.percentile(100), 3),
             }
         with self._lock:
@@ -185,13 +187,13 @@ class ServiceMetrics:
         lines.append(
             "wall time (ms):         "
             f"n={wall['count']} mean={wall['mean_ms']} "
-            f"p50={wall['p50_ms']} p95={wall['p95_ms']}"
+            f"p50={wall['p50_ms']} p95={wall['p95_ms']} p99={wall['p99_ms']}"
         )
         for stage, stats in snap["stages"].items():
             lines.append(
                 f"stage {stage + ':':<18}"
                 f"n={stats['count']} mean={stats['mean_ms']} "
-                f"p50={stats['p50_ms']} p95={stats['p95_ms']}"
+                f"p50={stats['p50_ms']} p95={stats['p95_ms']} p99={stats['p99_ms']}"
             )
         verify = snap["verify"]
         if verify["oracles"]:

@@ -198,3 +198,62 @@ class TestBatchCommand:
     def test_batch_missing_manifest(self, tmp_path, capsys):
         assert main(["batch", str(tmp_path / "nope.manifest")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_parser_has_serve(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--queue-depth", "8", "--rate", "2.5"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.queue_depth == 8
+        assert args.rate == 2.5
+
+    def test_invalid_workers_exit_2(self, capsys):
+        assert main(["serve", "--port", "0", "--workers", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_queue_depth_exit_2(self, capsys):
+        assert main(["serve", "--port", "0", "--queue-depth", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestJsonDeterminism:
+    """Every --json output is serialized with sorted keys (byte-stable)."""
+
+    def canonical(self, text):
+        return json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n"
+
+    def test_script_json_sorted(self, sexpr_files, capsys):
+        old, new = sexpr_files
+        assert main(["script", old, new, "--json"]) == 0
+        out = capsys.readouterr().out
+        assert out == self.canonical(out)
+
+    def test_batch_json_sorted_and_repeatable(self, tmp_path, capsys):
+        old = tmp_path / "a.sexpr"
+        new = tmp_path / "b.sexpr"
+        old.write_text('(D (S "one"))', encoding="utf-8")
+        new.write_text('(D (S "two"))', encoding="utf-8")
+        manifest = tmp_path / "pairs.manifest"
+        manifest.write_text("a.sexpr b.sexpr\n", encoding="utf-8")
+        assert main(["batch", str(manifest), "--json"]) == 0
+        out = capsys.readouterr().out
+        assert out == self.canonical(out)
+
+    def test_verify_json_sorted(self, sexpr_files, capsys):
+        old, new = sexpr_files
+        assert main(["verify", old, new, "--json", "--no-differential"]) == 0
+        out = capsys.readouterr().out
+        assert out == self.canonical(out)
+
+    def test_fuzz_json_sorted(self, tmp_path, capsys):
+        assert main([
+            "fuzz", "--seed", "3", "--iterations", "2", "--max-nodes", "12",
+            "--no-differential", "--repro-dir", str(tmp_path), "--json",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out == self.canonical(out)

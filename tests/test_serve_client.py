@@ -1,0 +1,228 @@
+"""Unit tests for the retrying client (repro.serve.client).
+
+The retry policy is exercised against a scripted stdlib HTTP stub (so the
+server's own admission logic is out of the picture) with an injected
+``sleep`` and a seeded RNG — every schedule assertion is deterministic and
+the tests never actually wait.
+"""
+
+import http.server
+import json
+import random
+import threading
+
+import pytest
+
+from repro.serve.client import DiffServiceClient, ServiceError
+
+
+class ScriptedStub:
+    """Serves a fixed sequence of (status, headers, body) responses."""
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.requests = []  # (method, path, decoded body, headers) per request
+        stub = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def _serve(self):
+                length = int(self.headers.get("Content-Length", 0) or 0)
+                raw = self.rfile.read(length) if length else b""
+                stub.requests.append(
+                    (
+                        self.command,
+                        self.path,
+                        json.loads(raw) if raw else None,
+                        dict(self.headers),
+                    )
+                )
+                status, headers, body = (
+                    stub.responses.pop(0)
+                    if stub.responses
+                    else (200, {}, {"ok": True})
+                )
+                data = json.dumps(body).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                for name, value in headers.items():
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(data)
+
+            do_GET = do_POST = _serve
+
+            def log_message(self, *_args):
+                pass
+
+        self.server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.port = self.server.server_address[1]
+        self.thread = threading.Thread(target=self.server.serve_forever, daemon=True)
+        self.thread.start()
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+
+
+@pytest.fixture
+def stub_factory():
+    stubs = []
+
+    def make(responses):
+        stub = ScriptedStub(responses)
+        stubs.append(stub)
+        return stub
+
+    yield make
+    for stub in stubs:
+        stub.close()
+
+
+def make_client(port, **overrides):
+    options = dict(
+        port=port,
+        retries=3,
+        backoff_base=0.1,
+        backoff_cap=2.0,
+        timeout=5.0,
+        sleep=lambda _s: None,  # never actually wait
+        rng=random.Random(42),
+    )
+    options.update(overrides)
+    return DiffServiceClient(**options)
+
+
+class TestRetryPolicy:
+    def test_success_needs_no_retry(self, stub_factory):
+        stub = stub_factory([(200, {}, {"answer": 7})])
+        with make_client(stub.port) as client:
+            assert client.request("GET", "/healthz") == {"answer": 7}
+        assert client.sleeps == []
+
+    def test_429_retried_until_success(self, stub_factory):
+        stub = stub_factory(
+            [(429, {}, {"error": "queue_full"})] * 2 + [(200, {}, {"done": True})]
+        )
+        with make_client(stub.port) as client:
+            assert client.request("POST", "/v1/diff", {"x": 1}) == {"done": True}
+        assert len(client.sleeps) == 2
+        assert len(stub.requests) == 3
+
+    def test_retry_after_header_is_a_floor(self, stub_factory):
+        stub = stub_factory(
+            [(429, {"Retry-After": "2"}, {"error": "queue_full"}), (200, {}, {})]
+        )
+        with make_client(stub.port) as client:
+            client.request("POST", "/v1/diff", {})
+        # jitter alone would be < 0.2s on attempt 0; the server's ask wins
+        assert client.sleeps[0] >= 2.0
+
+    def test_retry_after_body_field_is_honored(self, stub_factory):
+        stub = stub_factory(
+            [(429, {}, {"error": "queue_full", "retry_after_s": 0.75}), (200, {}, {})]
+        )
+        with make_client(stub.port) as client:
+            client.request("POST", "/v1/diff", {})
+        assert client.sleeps[0] >= 0.75
+
+    def test_server_cannot_park_the_client_forever(self, stub_factory):
+        stub = stub_factory(
+            [(429, {"Retry-After": "3600"}, {"error": "queue_full"}), (200, {}, {})]
+        )
+        with make_client(stub.port, max_retry_after=5.0) as client:
+            client.request("POST", "/v1/diff", {})
+        assert client.sleeps[0] <= 5.0
+
+    def test_5xx_is_retried(self, stub_factory):
+        stub = stub_factory([(503, {}, {"error": "draining"}), (200, {}, {"up": 1})])
+        with make_client(stub.port) as client:
+            assert client.request("GET", "/metrics") == {"up": 1}
+
+    def test_hard_4xx_is_never_retried(self, stub_factory):
+        stub = stub_factory([(400, {}, {"error": "bad_tree", "message": "nope"})])
+        with make_client(stub.port) as client:
+            with pytest.raises(ServiceError) as err:
+                client.request("POST", "/v1/diff", {})
+        assert err.value.status == 400
+        assert err.value.attempts == 1
+        assert len(stub.requests) == 1
+        assert client.sleeps == []
+
+    def test_retries_exhausted_raises_with_last_payload(self, stub_factory):
+        stub = stub_factory([(429, {}, {"error": "queue_full"})] * 10)
+        with make_client(stub.port, retries=2) as client:
+            with pytest.raises(ServiceError) as err:
+                client.request("POST", "/v1/diff", {})
+        assert err.value.status == 429
+        assert err.value.attempts == 3
+        assert err.value.payload["error"] == "queue_full"
+        assert len(stub.requests) == 3  # initial + 2 retries
+        assert len(client.sleeps) == 2  # no sleep after the last failure
+
+    def test_backoff_is_capped_exponential_with_jitter(self, stub_factory):
+        stub = stub_factory([(500, {}, {"error": "internal"})] * 6)
+        with make_client(stub.port, retries=5, backoff_base=0.1, backoff_cap=0.5) as client:
+            with pytest.raises(ServiceError):
+                client.request("GET", "/healthz")
+        assert len(client.sleeps) == 5
+        for attempt, delay in enumerate(client.sleeps):
+            assert 0.0 <= delay <= min(0.5, 0.1 * 2.0 ** attempt)
+        # the cap binds eventually: no sleep exceeds it
+        assert max(client.sleeps) <= 0.5
+
+    def test_connection_refused_is_retried_then_raised(self):
+        # a bound-then-closed socket yields a dead port nothing listens on
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        with make_client(dead_port, retries=2) as client:
+            with pytest.raises(ServiceError) as err:
+                client.request("GET", "/healthz")
+        assert err.value.status == 0
+        assert err.value.payload["error"] == "connection"
+        assert len(client.sleeps) == 2
+
+    def test_jitter_schedule_is_deterministic_given_rng(self, stub_factory):
+        responses = [(500, {}, {"error": "x"})] * 4
+        stub_a = stub_factory(list(responses))
+        stub_b = stub_factory(list(responses))
+        with make_client(stub_a.port, rng=random.Random(7)) as a:
+            with pytest.raises(ServiceError):
+                a.request("GET", "/healthz")
+        with make_client(stub_b.port, rng=random.Random(7)) as b:
+            with pytest.raises(ServiceError):
+                b.request("GET", "/healthz")
+        assert a.sleeps == b.sleeps
+
+
+class TestEndpointHelpers:
+    def test_diff_payload_shape(self, stub_factory):
+        stub = stub_factory([(200, {}, {"status": "ok"})])
+        from repro.core.serialization import tree_from_sexpr
+
+        tree = tree_from_sexpr('(D (S "x"))')
+        with make_client(stub.port) as client:
+            client.diff(tree, '(D (S "y"))', deadline_ms=500, job_id="j1")
+        method, path, body, _headers = stub.requests[0]
+        assert (method, path) == ("POST", "/v1/diff")
+        assert body["deadline_ms"] == 500
+        assert body["id"] == "j1"
+        assert body["old"]["label"] == "D"  # Tree serialized to the dict form
+        assert body["new"] == '(D (S "y"))'  # strings pass through as sexprs
+
+    def test_client_id_header_is_sent(self, stub_factory):
+        stub = stub_factory([(200, {}, {})])
+        with make_client(stub.port, client_id="tenant-9") as client:
+            client.request("GET", "/healthz")
+        headers = stub.requests[0][3]
+        assert headers.get("X-Client-Id") == "tenant-9"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiffServiceClient(retries=-1)

@@ -162,3 +162,57 @@ class TestCanonicalization:
         result = tree_diff(old, new)
         payload = canonicalize_script(result.script, old)
         assert json.loads(json.dumps(payload)) == payload
+
+
+class TestConcurrentAccess:
+    """Multi-threaded hammer: the LRU must stay consistent under contention."""
+
+    CAPACITY = 24
+    THREADS = 8
+    ROUNDS = 400
+    KEYSPACE = 64  # > capacity so eviction churns constantly
+
+    def test_hammer_no_lost_updates_and_bounded_size(self):
+        import random
+
+        cache = ScriptCache(capacity=self.CAPACITY)
+        errors = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(seed):
+            rng = random.Random(seed)
+            barrier.wait()  # maximize interleaving
+            for _ in range(self.ROUNDS):
+                n = rng.randrange(self.KEYSPACE)
+                got = cache.get(key(n))
+                if got is not None and got["cost"] != float(n):
+                    # a hit must return the payload stored under that key,
+                    # never a torn or foreign entry
+                    errors.append((n, got))
+                cache.put(key(n), payload(n))
+                if len(cache) > self.CAPACITY:
+                    errors.append(("overflow", len(cache)))
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        stats = cache.stats()
+        total = self.THREADS * self.ROUNDS
+        # every get is counted exactly once, as either a hit or a miss
+        assert stats["hits"] + stats["misses"] == total
+        assert stats["puts"] == total
+        # bounded under contention, and eviction accounting is conserved:
+        # every insert of a new key either still resides or was evicted
+        assert stats["size"] <= self.CAPACITY
+        assert stats["size"] + stats["evictions"] <= stats["puts"]
+        # with keyspace >> capacity the hammer must actually churn
+        assert stats["evictions"] > 0
+        assert stats["hits"] > 0
+

@@ -107,3 +107,37 @@ class TestServiceMetrics:
         assert "cache_hits" in text
         assert "wall time" in text
         assert "size=1/8" in text
+
+
+class TestTailLatency:
+    """p99 export (the /metrics endpoint reports tail latency)."""
+
+    def test_histogram_p99_sits_between_p95_and_max(self):
+        hist = LatencyHistogram()
+        for value in range(1, 1001):  # 1..1000
+            hist.observe(float(value))
+        assert hist.percentile(95) <= hist.percentile(99) <= hist.percentile(100)
+        assert 985.0 <= hist.percentile(99) <= 995.0
+
+    def test_wall_snapshot_has_p99(self):
+        metrics = ServiceMetrics()
+        for ms in range(100):
+            metrics.observe_wall(float(ms))
+        wall = metrics.snapshot()["wall_time"]
+        assert "p99_ms" in wall
+        assert wall["p95_ms"] <= wall["p99_ms"] <= wall["max_ms"]
+
+    def test_stage_snapshot_has_p99(self):
+        metrics = ServiceMetrics()
+        for ms in range(50):
+            metrics.observe_stage("match", float(ms))
+        stats = metrics.snapshot()["stages"]["match"]
+        assert "p99_ms" in stats
+        assert stats["p50_ms"] <= stats["p99_ms"]
+
+    def test_render_mentions_p99(self):
+        metrics = ServiceMetrics()
+        metrics.observe_wall(1.0)
+        metrics.observe_stage("match", 2.0)
+        text = metrics.render()
+        assert "p99=" in text
