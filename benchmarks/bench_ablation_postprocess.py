@@ -9,8 +9,6 @@ whenever a duplicate got cross-matched; with no duplicates it is a no-op.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.diff import tree_diff
 from repro.ladiff.pipeline import default_match_config
 from repro.workload import DocumentGenerator, DocumentSpec, MutationEngine, MutationMix

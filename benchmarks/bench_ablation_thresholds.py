@@ -13,8 +13,6 @@ workload and reports the resulting script cost and matching size:
 
 from __future__ import annotations
 
-import pytest
-
 from repro.diff import tree_diff
 from repro.ladiff.pipeline import default_match_config
 from repro.workload import DocumentSpec, MutationEngine, generate_document

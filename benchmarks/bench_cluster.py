@@ -1,0 +1,465 @@
+"""Cluster economics: sharded throughput, cache affinity, and failover.
+
+This bench drives real ``repro-diff serve --workers N`` clusters (front
+router + N worker subprocesses) through real sockets and gates the three
+properties the cluster exists for:
+
+* **throughput scaling** — a 4-worker cluster must beat the single-process
+  server by ``min(2.0, 0.55 x cores)`` on distinct-pair load. On the >= 4
+  vCPU CI runners that is the acceptance gate of >= 2.0x (each worker is
+  its own interpreter, so matching escapes the single GIL); on smaller
+  machines the gate degrades honestly — a 1-core box cannot double
+  CPU-bound throughput no matter how it is sharded, so there the gate only
+  bounds the router's overhead;
+* **cache affinity** — repeating identical pairs must keep the warm >=
+  :data:`MIN_WARM_SPEEDUP` x cold gate *through the router*: consistent
+  hashing sends a repeated body to the worker that already holds the
+  cached script, so per-worker caches compound instead of diluting;
+* **failover** — SIGKILLing a worker mid-burst must be invisible: every
+  client request still succeeds (router replays onto ring successors,
+  clients ride out the restart window), and the supervisor must restart
+  the worker afterwards.
+
+Run directly for the full tables, ``--smoke`` for the CI configuration,
+``--json-out PATH`` to write the ``BENCH`` payload for
+``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+from repro.serve.client import DiffServiceClient
+from repro.workload import MutationEngine, random_tree
+from repro.workload.random_trees import RandomTreeSpec
+
+from conftest import print_table
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+MIN_WARM_SPEEDUP = 1.5      # warm-cache throughput vs cold, via the router
+CLUSTER_WORKERS = 4         # the acceptance topology
+PER_CORE_SPEEDUP = 0.55     # conservative per-extra-core scaling expectation
+SINGLE_CORE_FLOOR = 0.45    # 1 core: no parallelism to win, only overhead to bound
+DEADLINE_MS = 30_000.0
+
+
+def throughput_gate(cores: int) -> float:
+    """The required cluster/single speedup on a machine with *cores* cores.
+
+    >= 2.0 on the 4-vCPU CI runners (the acceptance criterion); on smaller
+    machines the gate shrinks to what the hardware permits.  On a single
+    core four worker processes cannot beat one process — the gate there
+    only bounds router+proxy+scheduling overhead (cluster >= 0.45x single).
+    """
+    if cores <= 1:
+        return SINGLE_CORE_FLOOR
+    return min(2.0, PER_CORE_SPEEDUP * cores)
+
+
+# ---------------------------------------------------------------------------
+# Server subprocess management
+# ---------------------------------------------------------------------------
+def _server_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def start_cluster(
+    workers: int,
+    threads: int = 1,
+    queue_capacity: int = 64,
+    cache_size: int = 256,
+):
+    """Launch ``repro-diff serve --workers N``; return (proc, port)."""
+    cmd = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", "0",
+        "--workers", str(workers),
+        "--threads", str(threads),
+        "--queue-depth", str(queue_capacity),
+        "--cache-size", str(cache_size),
+        "--deadline-ms", str(DEADLINE_MS),
+    ]
+    proc = subprocess.Popen(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_server_env(),
+    )
+    banner: list = []
+
+    def read_banner():
+        banner.append(proc.stdout.readline())
+
+    reader = threading.Thread(target=read_banner, daemon=True)
+    reader.start()
+    reader.join(timeout=120)
+    if not banner or "listening on" not in banner[0]:
+        proc.kill()
+        raise RuntimeError(f"server did not start: {banner or proc.stderr.read()}")
+    port = int(banner[0].rsplit(":", 1)[1])
+    client = DiffServiceClient(port=port, retries=0)
+    assert client.wait_ready(timeout=30), "front bound but /healthz never answered"
+    client.close()
+    return proc, port
+
+
+def sigterm_and_collect(proc) -> dict:
+    """SIGTERM the cluster; assert clean drain; return the final METRICS."""
+    proc.send_signal(signal.SIGTERM)
+    try:
+        stdout, stderr = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise AssertionError("cluster did not drain within 60s of SIGTERM")
+    assert proc.returncode == 0, (
+        f"unclean drain: exit={proc.returncode} stderr={stderr[-500:]}"
+    )
+    metrics_lines = [line for line in stdout.splitlines() if line.startswith("METRICS ")]
+    assert metrics_lines, f"no final METRICS dump in stdout: {stdout[-500:]}"
+    return json.loads(metrics_lines[-1][len("METRICS "):])
+
+
+# ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+#: Heavy snapshots (several hundred nodes, ~tens of ms per diff): compute
+#: must dominate the proxy hop or the throughput gate measures HTTP framing.
+HEAVY_SPEC = RandomTreeSpec(max_depth=6, min_children=4, max_children=7)
+
+
+def snapshot_pairs(count: int, seed: int = 1996):
+    """Distinct (old, new) snapshot pairs with realistic mutation deltas."""
+    pairs = []
+    for i in range(count):
+        old = random_tree(seed + i, HEAVY_SPEC)
+        new = MutationEngine(seed + 1000 + i).mutate(old, 10).tree
+        pairs.append((old, new))
+    return pairs
+
+
+def wire_pairs(pairs):
+    client = DiffServiceClient(port=1)  # only used for serialization
+    return [(client._wire_tree(old), client._wire_tree(new)) for old, new in pairs]
+
+
+# ---------------------------------------------------------------------------
+# Measurements
+# ---------------------------------------------------------------------------
+def measure_throughput(port: int, wired, clients: int, requests: int) -> dict:
+    """Requests/second of *clients* concurrent threads firing diffs."""
+    outcomes: list = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(n: int) -> None:
+        client = DiffServiceClient(
+            port=port, retries=4, client_id=f"tput-{n}", timeout=60.0
+        )
+        barrier.wait()
+        ok = 0
+        for i in range(requests):
+            old, new = wired[(n * requests + i) % len(wired)]
+            out = client.request(
+                "POST", "/v1/diff",
+                {"old": old, "new": new, "include_script": False},
+            )
+            if out.get("status") == "ok":
+                ok += 1
+        client.close()
+        with lock:
+            outcomes.append(ok)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for t in threads:
+        t.join(timeout=600)
+    elapsed = time.perf_counter() - started
+    assert not any(t.is_alive() for t in threads), "throughput worker hung"
+    total = clients * requests
+    assert sum(outcomes) == total, f"failed requests: {total - sum(outcomes)}"
+    return {
+        "clients": clients,
+        "requests": total,
+        "elapsed_s": round(elapsed, 4),
+        "rps": round(total / elapsed, 3),
+    }
+
+
+def measure_affinity_warmth(port: int, wired) -> dict:
+    """Warm vs cold through the router: affinity must keep caches hot."""
+    client = DiffServiceClient(port=port, retries=4, timeout=60.0)
+
+    def one_pass() -> float:
+        started = time.perf_counter()
+        for old, new in wired:
+            out = client.request(
+                "POST", "/v1/diff",
+                {"old": old, "new": new, "include_script": False},
+            )
+            assert out["status"] == "ok"
+        return time.perf_counter() - started
+
+    cold_s = one_pass()   # every pair computed for the first time
+    warm_s = one_pass()   # identical bodies hash to the same warm shard
+    metrics = client.metrics()
+    client.close()
+    merged_hits = metrics["counters"].get("cache_hits", 0)
+    assert merged_hits >= len(wired), (
+        f"affinity routing missed the warm shards: merged cache_hits="
+        f"{merged_hits} < {len(wired)} repeats: {metrics['counters']}"
+    )
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    return {
+        "distinct_pairs": len(wired),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_speedup": round(speedup, 3),
+        "merged_cache_hits": merged_hits,
+        "shards_hit": sum(
+            1
+            for snap in metrics["workers"].values()
+            if snap["counters"].get("jobs_submitted", 0) > 0
+        ),
+    }
+
+
+def measure_kill_under_load(port: int, wired, clients: int, requests: int) -> dict:
+    """SIGKILL one worker mid-burst; every client request must succeed."""
+    probe = DiffServiceClient(port=port, retries=2)
+    health = probe.healthz()
+    victim_id, victim = sorted(health["workers"].items())[0]
+    victim_pid = victim["pid"]
+    outcomes: list = []
+    failures: list = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(n: int) -> None:
+        client = DiffServiceClient(
+            port=port, retries=6, connect_retries=10,
+            client_id=f"kill-{n}", timeout=60.0,
+        )
+        barrier.wait()
+        for i in range(requests):
+            old, new = wired[(n * requests + i) % len(wired)]
+            try:
+                out = client.request(
+                    "POST", "/v1/diff",
+                    {"old": old, "new": new, "include_script": False},
+                )
+                ok = out.get("status") == "ok"
+            except Exception as exc:  # any surfaced error is a gate failure
+                ok = False
+                with lock:
+                    failures.append(f"{type(exc).__name__}: {exc}")
+            with lock:
+                outcomes.append(ok)
+        client.close()
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    # Let the burst get airborne, then kill a worker under it.
+    time.sleep(0.2)
+    os.kill(victim_pid, signal.SIGKILL)
+    killed_at = time.monotonic()
+    for t in threads:
+        t.join(timeout=600)
+    assert not any(t.is_alive() for t in threads), "kill-burst request hung"
+    total = clients * requests
+    succeeded = sum(outcomes)
+
+    # The supervisor must bring the worker back (fresh pid, restart count).
+    restart_s = None
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        health = probe.healthz()
+        info = health["workers"][victim_id]
+        if (
+            health["workers_up"] == len(health["workers"])
+            and info["restarts"] >= 1
+            and info["pid"] != victim_pid
+        ):
+            restart_s = time.monotonic() - killed_at
+            break
+        time.sleep(0.2)
+    probe.close()
+    assert succeeded == total, (
+        f"{total - succeeded} of {total} requests failed during worker kill: "
+        f"{failures[:5]}"
+    )
+    assert restart_s is not None, "killed worker was never restarted"
+    return {
+        "requests": total,
+        "failed": total - succeeded,
+        "killed_worker": victim_id,
+        "restart_s": round(restart_s, 3),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+def run(
+    distinct: int,
+    clients: int,
+    requests: int,
+    json_out: str = None,
+) -> dict:
+    cores = os.cpu_count() or 1
+    gate = throughput_gate(cores)
+    wired = wire_pairs(snapshot_pairs(distinct))
+
+    # Throughput runs disable the result cache: with it, the repeated-pair
+    # workload degenerates to cache-hit serving, which measures proxy
+    # overhead rather than the compute scaling the gate is about.
+    # -- single-process baseline ------------------------------------------
+    proc, port = start_cluster(workers=1, threads=2, cache_size=0)
+    try:
+        single = measure_throughput(port, wired, clients, requests)
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.communicate(timeout=60)
+
+    # -- the 4-worker cluster ---------------------------------------------
+    proc, port = start_cluster(workers=CLUSTER_WORKERS, threads=1, cache_size=0)
+    try:
+        cluster = measure_throughput(port, wired, clients, requests)
+    except BaseException:
+        proc.kill()
+        raise
+    final = sigterm_and_collect(proc)
+
+    # -- cache affinity (caches on, fresh cluster) ------------------------
+    proc, port = start_cluster(workers=CLUSTER_WORKERS, threads=1)
+    try:
+        warm = measure_affinity_warmth(port, wired)
+    except BaseException:
+        proc.kill()
+        raise
+    sigterm_and_collect(proc)
+
+    # -- kill a worker under load -----------------------------------------
+    proc, port = start_cluster(workers=2, threads=1)
+    try:
+        kill = measure_kill_under_load(port, wired, clients, requests)
+    except BaseException:
+        proc.kill()
+        raise
+    sigterm_and_collect(proc)
+
+    speedup = cluster["rps"] / single["rps"] if single["rps"] else float("inf")
+    print_table(
+        f"throughput: {CLUSTER_WORKERS}-worker cluster vs single process "
+        f"({cores} cores, gate {gate:.2f}x)",
+        ["topology", "clients", "requests", "elapsed s", "req/s"],
+        [
+            ["single", single["clients"], single["requests"],
+             single["elapsed_s"], single["rps"]],
+            [f"{CLUSTER_WORKERS} workers", cluster["clients"],
+             cluster["requests"], cluster["elapsed_s"], cluster["rps"]],
+        ],
+    )
+    print_table(
+        "cache affinity through the router (repeated identical pairs)",
+        ["distinct", "cold s", "warm s", "speedup", "merged hits", "shards hit"],
+        [[
+            warm["distinct_pairs"], warm["cold_s"], warm["warm_s"],
+            f"{warm['warm_speedup']:.2f}x", warm["merged_cache_hits"],
+            warm["shards_hit"],
+        ]],
+    )
+    print_table(
+        "worker SIGKILL under load",
+        ["requests", "failed", "killed", "restart s"],
+        [[kill["requests"], kill["failed"], kill["killed_worker"],
+          kill["restart_s"]]],
+    )
+
+    assert speedup >= gate, (
+        f"cluster did not pay: {speedup:.2f}x < required {gate:.2f}x "
+        f"({cores} cores)"
+    )
+    assert warm["warm_speedup"] >= MIN_WARM_SPEEDUP, (
+        f"affinity-routed warm cache did not pay: {warm['warm_speedup']:.2f}x "
+        f"< required {MIN_WARM_SPEEDUP}x"
+    )
+    assert kill["failed"] == 0
+    assert final["counters"]["jobs_submitted"] >= clients * requests
+
+    payload = {
+        "benchmark": "bench_cluster",
+        "cores": cores,
+        "workers": CLUSTER_WORKERS,
+        "single_rps": single["rps"],
+        "cluster_rps": cluster["rps"],
+        "cluster_speedup": round(speedup, 3),
+        "throughput_gate": gate,
+        "warm_speedup": warm["warm_speedup"],
+        "merged_cache_hits": warm["merged_cache_hits"],
+        "kill_requests": kill["requests"],
+        "kill_failures": kill["failed"],
+        "restart_s": kill["restart_s"],
+        "drained_clean": True,
+    }
+    print("BENCH " + json.dumps(payload, sort_keys=True))
+    if json_out:
+        with open(json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+        print(f"wrote {json_out}")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry point
+# ---------------------------------------------------------------------------
+def test_cluster_pays(benchmark):
+    payload = benchmark.pedantic(
+        lambda: run(distinct=6, clients=2, requests=4), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cluster_speedup"] = payload["cluster_speedup"]
+    benchmark.extra_info["kill_failures"] = payload["kill_failures"]
+    assert payload["kill_failures"] == 0
+    assert payload["cluster_speedup"] >= payload["throughput_gate"]
+
+
+# ---------------------------------------------------------------------------
+# Direct / CI-smoke execution
+# ---------------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small configuration exercising every gate (used by CI)",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the BENCH payload to PATH (check_regression.py input)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        run(distinct=6, clients=2, requests=4, json_out=args.json_out)
+    else:
+        run(distinct=16, clients=4, requests=12, json_out=args.json_out)
+    print("cluster benchmark: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

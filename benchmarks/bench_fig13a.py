@@ -14,8 +14,6 @@ paragraph-move heavy to mirror document editing.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis import result_distances
 from repro.diff import tree_diff
 from repro.ladiff.pipeline import default_match_config

@@ -14,14 +14,10 @@ script, and compare the measured total against the Appendix B bound
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis import fastmatch_bound, result_distances, tree_pair_sizes
 from repro.editscript import generate_edit_script
 from repro.ladiff.pipeline import default_match_config
 from repro.matching import MatchingStats, fast_match
-from repro.workload import MutationMix, make_document_set
-from repro.workload.documents import DocumentSpec
 
 from conftest import print_table
 

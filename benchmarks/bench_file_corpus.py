@@ -14,8 +14,6 @@ import os
 import tempfile
 import time
 
-import pytest
-
 from repro.ladiff import ladiff_files, write_latex
 from repro.workload import DocumentSpec, MutationEngine, generate_document
 

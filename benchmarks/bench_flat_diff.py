@@ -12,9 +12,6 @@ stays equal to the number of moves.
 
 from __future__ import annotations
 
-import random
-
-import pytest
 
 from repro.baselines import flat_diff, undetected_moves
 from repro.diff import tree_diff

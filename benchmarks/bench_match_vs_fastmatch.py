@@ -13,8 +13,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
-
 from repro.ladiff.pipeline import default_match_config
 from repro.matching import MatchingStats, fast_match, match
 from repro.workload import DocumentSpec, MutationEngine, generate_document

@@ -14,9 +14,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
-from repro.core.tree import Tree
 from repro.merge import three_way_merge
 from repro.workload import DocumentSpec, MutationEngine, generate_document
 

@@ -13,8 +13,6 @@ move-heavy workload and reports the two sides of the trade:
 
 from __future__ import annotations
 
-import pytest
-
 from repro.editscript import generate_edit_script
 from repro.ladiff.pipeline import default_match_config
 from repro.matching import MatchingStats, parameterized_match

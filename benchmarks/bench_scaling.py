@@ -18,8 +18,6 @@ from __future__ import annotations
 import random
 import time
 
-import pytest
-
 from repro.editscript import generate_edit_script
 from repro.matching import Matching
 from repro.workload import random_flat_tree

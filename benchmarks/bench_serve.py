@@ -28,8 +28,6 @@ import sys
 import threading
 import time
 
-import pytest
-
 from repro.serve.client import DiffServiceClient
 from repro.workload import MutationEngine, random_tree
 
@@ -58,7 +56,7 @@ def start_server(workers: int = 2, queue_capacity: int = QUEUE_CAPACITY):
     cmd = [
         sys.executable, "-m", "repro.cli", "serve",
         "--port", "0",
-        "--workers", str(workers),
+        "--threads", str(workers),
         "--queue-depth", str(queue_capacity),
         "--deadline-ms", str(DEADLINE_MS),
     ]
@@ -98,7 +96,7 @@ def sigterm_and_collect(proc) -> dict:
     assert proc.returncode == 0, (
         f"unclean drain: exit={proc.returncode} stderr={stderr[-500:]}"
     )
-    metrics_lines = [l for l in stdout.splitlines() if l.startswith("METRICS ")]
+    metrics_lines = [line for line in stdout.splitlines() if line.startswith("METRICS ")]
     assert metrics_lines, f"no final METRICS dump in stdout: {stdout[-500:]}"
     return json.loads(metrics_lines[-1][len("METRICS "):])
 

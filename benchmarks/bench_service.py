@@ -24,8 +24,6 @@ import os
 import sys
 import time
 
-import pytest
-
 from repro.service import DiffEngine
 from repro.workload import DocumentSpec, MutationEngine, generate_document
 

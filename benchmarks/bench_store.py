@@ -10,8 +10,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
-
 from repro import VersionStore, trees_isomorphic
 from repro.core.serialization import tree_to_dict
 from repro.workload import DocumentSpec, MutationEngine, generate_document

@@ -15,8 +15,6 @@ sentences.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis import mismatch_upper_bound
 from repro.workload import DocumentGenerator, DocumentSpec, MutationEngine
 

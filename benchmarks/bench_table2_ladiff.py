@@ -14,8 +14,6 @@ that the document exercises, reproducing the Figure 16 sample run:
 
 from __future__ import annotations
 
-import pytest
-
 from repro.ladiff import ladiff
 from repro.ladiff.fixtures import NEW_TEXBOOK, OLD_TEXBOOK
 

@@ -13,8 +13,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
-
 from repro.baselines import zhang_shasha_distance
 from repro.diff import tree_diff
 from repro.ladiff.pipeline import default_match_config

@@ -17,6 +17,9 @@ Subcommands
              minimize the failing pair, write a JSON repro file, exit 1.
 ``serve``    Run the asyncio HTTP diff service (:mod:`repro.serve`):
              admission control, backpressure, graceful SIGTERM drain.
+             ``--workers N`` (N >= 2) runs the sharded multi-process
+             cluster with cache-affinity routing, failover, and SIGHUP
+             rolling restarts (:mod:`repro.serve.cluster`).
 
 Examples::
 
@@ -27,7 +30,8 @@ Examples::
     repro-diff verify --seed 42 --iterations 500
     repro-diff verify old.json new.json
     repro-diff fuzz --seed 1 --iterations 1000 --repro-dir repros/
-    repro-diff serve --port 8765 --workers 4 --queue-depth 16
+    repro-diff serve --port 8765 --threads 4 --queue-depth 16
+    repro-diff serve --port 8765 --workers 4     # 4-process sharded cluster
 
 All ``--json`` output is serialized with sorted keys, so byte-identical
 inputs produce byte-identical output across runs and Python versions.
@@ -210,7 +214,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port; 0 binds an ephemeral port (default 8765)",
     )
     p_serve.add_argument(
-        "--workers", type=int, default=4, help="engine worker threads (default 4)"
+        "--workers", type=int, default=1,
+        help="worker PROCESSES; >= 2 runs the sharded cluster with "
+             "cache-affinity routing, 0/1 the single-process server (default 1)",
+    )
+    p_serve.add_argument(
+        "--threads", type=int, default=4,
+        help="engine worker threads per process (default 4)",
+    )
+    p_serve.add_argument(
+        "--replicas", type=int, default=64,
+        help="virtual nodes per worker on the cluster hash ring (default 64)",
     )
     p_serve.add_argument(
         "--cache-size", type=int, default=256,
@@ -513,12 +527,15 @@ def _cmd_batch(args) -> int:
 
 def _cmd_serve(args) -> int:
     from .serve.app import ServeConfig, run_server
+    from .serve.cluster import ClusterConfig, run_cluster
 
     try:
-        config = ServeConfig(
+        if args.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {args.workers}")
+        serve_config = ServeConfig(
             host=args.host,
             port=args.port,
-            workers=args.workers,
+            workers=args.threads,
             cache_size=args.cache_size,
             algorithm=args.algorithm,
             match=default_match_config(t=args.t, f=args.f),
@@ -531,12 +548,21 @@ def _cmd_serve(args) -> int:
             deadline_ms=args.deadline_ms,
             drain_timeout=args.drain_timeout,
         )
-        return run_server(
-            config,
-            announce=lambda url: print(
-                f"repro-diff serve: listening on {url}", flush=True
-            ),
-        )
+
+        def announce(url: str) -> None:
+            print(f"repro-diff serve: listening on {url}", flush=True)
+
+        if args.workers >= 2:
+            cluster_config = ClusterConfig(
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                replicas=args.replicas,
+                drain_timeout=args.drain_timeout,
+                serve=serve_config,
+            )
+            return run_cluster(cluster_config, announce=announce)
+        return run_server(serve_config, announce=announce)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -20,29 +20,46 @@ Quickstart::
 
 From the shell: ``repro-diff serve --port 8765`` (SIGTERM drains and
 prints a final deterministic ``METRICS {json}`` line).
+
+Scaling out: ``repro-diff serve --workers 4`` forks four single-process
+workers behind a cache-affinity consistent-hash router with failover and
+rolling restarts — see :mod:`repro.serve.cluster`.
 """
 
 from .admission import AdmissionController, Deadline, Decision, RateLimiter, TokenBucket
 from .app import DiffServer, ServeConfig, ServerThread, run_server
 from .client import DiffServiceClient, ServiceError
+from .cluster import ClusterConfig, ClusterServer, ClusterThread, run_cluster
 from .lifecycle import Lifecycle, dump_final_metrics
 from .protocol import PROTOCOL, HttpError, job_result_to_dict
+from .router import HashRing, Router, affinity_key
+from .supervisor import Supervisor, WorkerHandle, WorkerStartupError
 
 __all__ = [
     "PROTOCOL",
     "AdmissionController",
+    "ClusterConfig",
+    "ClusterServer",
+    "ClusterThread",
     "Deadline",
     "Decision",
     "DiffServer",
     "DiffServiceClient",
+    "HashRing",
     "HttpError",
     "Lifecycle",
     "RateLimiter",
+    "Router",
     "ServeConfig",
     "ServerThread",
     "ServiceError",
+    "Supervisor",
     "TokenBucket",
+    "WorkerHandle",
+    "WorkerStartupError",
+    "affinity_key",
     "dump_final_metrics",
     "job_result_to_dict",
+    "run_cluster",
     "run_server",
 ]

@@ -41,6 +41,7 @@ from ..service.metrics import ServiceMetrics
 from .admission import AdmissionController, Deadline
 from .lifecycle import Lifecycle, dump_final_metrics
 from .protocol import (
+    MAX_HEADERS,
     PROTOCOL,
     STATUS_PHRASES,
     HttpError,
@@ -48,11 +49,11 @@ from .protocol import (
     job_result_to_dict,
     pairs_from_batch,
     parse_body,
+    parse_request_line,
+    read_content_length_body,
+    read_headers,
     require_pair,
 )
-
-#: Upper bound on header lines per request (anti-abuse, not a real limit).
-MAX_HEADERS = 100
 
 #: Compute endpoints (admission-gated); GET endpoints bypass admission.
 COMPUTE_ROUTES = frozenset({"/v1/diff", "/v1/batch", "/v1/verify"})
@@ -266,52 +267,25 @@ class DiffServer:
 
     @staticmethod
     def _parse_request_line(raw: bytes) -> Tuple[str, str, str]:
-        try:
-            text = raw.decode("latin-1").rstrip("\r\n")
-            method, target, version = text.split(" ")
-        except ValueError:
-            raise HttpError(400, "bad_request_line", f"malformed request line: {raw!r}")
-        if version not in ("HTTP/1.0", "HTTP/1.1"):
-            raise HttpError(400, "bad_request_line", f"unsupported version {version}")
-        return method.upper(), target.split("?", 1)[0], version
+        return parse_request_line(raw)
 
     @staticmethod
     async def _read_headers(reader: asyncio.StreamReader) -> Dict[str, str]:
-        headers: Dict[str, str] = {}
-        for _ in range(MAX_HEADERS):
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                return headers
-            name, sep, value = line.decode("latin-1").partition(":")
-            if sep:
-                headers[name.strip().lower()] = value.strip()
-        raise HttpError(400, "bad_headers", f"more than {MAX_HEADERS} header lines")
+        return await read_headers(reader, MAX_HEADERS)
 
     async def _read_body(
         self, reader: asyncio.StreamReader, method: str, headers: Dict[str, str]
     ) -> bytes:
         if method not in ("POST", "PUT"):
             return b""
-        if "chunked" in headers.get("transfer-encoding", "").lower():
-            raise HttpError(501, "chunked_unsupported", "send Content-Length, not chunked")
-        raw_length = headers.get("content-length")
-        if raw_length is None:
-            raise HttpError(411, "length_required", "POST requires Content-Length")
         try:
-            length = int(raw_length)
-            if length < 0:
-                raise ValueError
-        except ValueError:
-            raise HttpError(400, "bad_length", f"invalid Content-Length {raw_length!r}")
-        if not self.admission.body_allowed(length):
-            self.metrics.incr("rejected_too_large")
-            raise HttpError(
-                413,
-                "too_large",
-                f"body of {length} bytes exceeds the "
-                f"{self.admission.max_body_bytes}-byte limit",
+            return await read_content_length_body(
+                reader, headers, self.admission.max_body_bytes
             )
-        return await reader.readexactly(length) if length else b""
+        except HttpError as exc:
+            if exc.status == 413:
+                self.metrics.incr("rejected_too_large")
+            raise
 
     async def _respond(
         self,

@@ -61,6 +61,13 @@ class DiffServiceClient:
     backoff_base, backoff_cap:
         Full-jitter schedule: attempt ``k`` waits
         ``uniform(0, min(backoff_cap, backoff_base * 2**k))`` seconds.
+    connect_retries:
+        A *separate* transparent budget for connection-refused failures.
+        A refused TCP connect is the signature of a server (or cluster
+        worker) mid-restart: nothing was ever sent, so retrying is always
+        safe, and the outage is usually sub-second. These attempts sleep
+        the base-jitter delay without escalating the exponential schedule
+        and do not consume the main ``retries`` budget.
     max_retry_after:
         Upper bound honored for server-supplied ``Retry-After`` hints
         (a misbehaving server cannot park the client for an hour).
@@ -81,6 +88,7 @@ class DiffServiceClient:
         retries: int = 4,
         backoff_base: float = 0.1,
         backoff_cap: float = 2.0,
+        connect_retries: int = 8,
         max_retry_after: float = 30.0,
         timeout: float = 30.0,
         client_id: Optional[str] = None,
@@ -89,9 +97,12 @@ class DiffServiceClient:
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if connect_retries < 0:
+            raise ValueError(f"connect_retries must be >= 0, got {connect_retries}")
         self.host = host
         self.port = port
         self.retries = retries
+        self.connect_retries = connect_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.max_retry_after = max_retry_after
@@ -180,12 +191,30 @@ class DiffServiceClient:
     def request(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
-        """Send with the retry policy; return the decoded 2xx body."""
+        """Send with the retry policy; return the decoded 2xx body.
+
+        Connection-refused failures (a server or cluster worker mid-restart)
+        draw on the separate ``connect_retries`` budget with a flat jittered
+        delay; everything else transient follows the capped exponential
+        schedule against the main ``retries`` budget.
+        """
         last_status, last_payload = 0, {"error": "unreachable", "message": ""}
-        for attempt in range(self.retries + 1):
+        attempt = 0
+        refused_left = self.connect_retries
+        tries = 0
+        while True:
             retry_after = 0.0
+            refused = False
+            tries += 1
             try:
                 status, decoded, headers = self.request_once(method, path, payload)
+            except ConnectionRefusedError as exc:
+                refused = True
+                last_status = 0
+                last_payload = {
+                    "error": "connection",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
             except (OSError, socket.timeout, http.client.HTTPException) as exc:
                 last_status = 0
                 last_payload = {
@@ -197,13 +226,22 @@ class DiffServiceClient:
                     return decoded
                 last_status, last_payload = status, decoded
                 if status not in RETRYABLE_STATUSES:
-                    raise ServiceError(status, decoded, attempt + 1)
+                    raise ServiceError(status, decoded, tries)
                 retry_after = self._retry_after_hint(decoded, headers)
+            if refused and refused_left > 0:
+                # Restart window: flat base-jitter sleep, no escalation.
+                refused_left -= 1
+                delay = self._backoff(0, retry_after)
+                self.sleeps.append(delay)
+                self._sleep(delay)
+                continue
             if attempt < self.retries:
                 delay = self._backoff(attempt, retry_after)
                 self.sleeps.append(delay)
                 self._sleep(delay)
-        raise ServiceError(last_status, last_payload, self.retries + 1)
+                attempt += 1
+                continue
+            raise ServiceError(last_status, last_payload, tries)
 
     # ------------------------------------------------------------------
     # Endpoints

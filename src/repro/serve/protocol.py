@@ -14,6 +14,7 @@ responses (429/503) carry a ``Retry-After`` header that
 
 from __future__ import annotations
 
+import asyncio
 import json
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -35,6 +36,7 @@ STATUS_PHRASES = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -78,6 +80,117 @@ class HttpError(Exception):
 def dumps(payload: Any) -> bytes:
     """Deterministic JSON encoding used for every response body."""
     return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Low-level HTTP/1.1 framing, shared by the app, the cluster router, and the
+# supervisor's health checks. Everything raises HttpError so callers answer
+# protocol violations uniformly.
+# ---------------------------------------------------------------------------
+
+#: Upper bound on header lines per request (anti-abuse, not a real limit).
+MAX_HEADERS = 100
+
+
+def parse_request_line(raw: bytes) -> Tuple[str, str, str]:
+    """Split ``b"POST /v1/diff HTTP/1.1\\r\\n"`` into (method, path, version)."""
+    try:
+        text = raw.decode("latin-1").rstrip("\r\n")
+        method, target, version = text.split(" ")
+    except ValueError:
+        raise HttpError(400, "bad_request_line", f"malformed request line: {raw!r}")
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise HttpError(400, "bad_request_line", f"unsupported version {version}")
+    return method.upper(), target.split("?", 1)[0], version
+
+
+def parse_status_line(raw: bytes) -> int:
+    """Extract the status code from ``b"HTTP/1.1 200 OK\\r\\n"``."""
+    parts = raw.decode("latin-1").split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise HttpError(502, "bad_upstream", f"malformed status line: {raw!r}")
+    try:
+        return int(parts[1])
+    except ValueError:
+        raise HttpError(502, "bad_upstream", f"malformed status code in {raw!r}")
+
+
+async def read_headers(
+    reader: asyncio.StreamReader, max_headers: int = MAX_HEADERS
+) -> Dict[str, str]:
+    """Read header lines up to the blank separator into a lowercased dict."""
+    headers: Dict[str, str] = {}
+    for _ in range(max_headers):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            return headers
+        name, sep, value = line.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    raise HttpError(400, "bad_headers", f"more than {max_headers} header lines")
+
+
+async def read_content_length_body(
+    reader: asyncio.StreamReader, headers: Dict[str, str], max_body_bytes: int
+) -> bytes:
+    """Read a Content-Length-framed body (411/400/413/501 on bad framing)."""
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked_unsupported", "send Content-Length, not chunked")
+    raw_length = headers.get("content-length")
+    if raw_length is None:
+        raise HttpError(411, "length_required", "POST requires Content-Length")
+    try:
+        length = int(raw_length)
+        if length < 0:
+            raise ValueError
+    except ValueError:
+        raise HttpError(400, "bad_length", f"invalid Content-Length {raw_length!r}")
+    if length > max_body_bytes:
+        raise HttpError(
+            413,
+            "too_large",
+            f"body of {length} bytes exceeds the {max_body_bytes}-byte limit",
+        )
+    return await reader.readexactly(length) if length else b""
+
+
+async def fetch_json(
+    host: str, port: int, path: str, timeout: float = 5.0
+) -> Tuple[int, Dict[str, Any]]:
+    """One GET against a backend, fully framed: ``(status, decoded body)``.
+
+    The async sibling of :meth:`DiffServiceClient.request_once` for use on
+    the serving loop (supervisor health checks, router metrics fan-in).
+    Connection failures propagate as ``OSError`` / ``asyncio.TimeoutError``.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        request = (
+            f"GET {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+            "Accept: application/json\r\nConnection: close\r\n\r\n"
+        )
+        writer.write(request.encode("latin-1"))
+        await writer.drain()
+        status_line = await asyncio.wait_for(reader.readline(), timeout)
+        status = parse_status_line(status_line)
+        headers = await asyncio.wait_for(read_headers(reader), timeout)
+        length = int(headers.get("content-length", "0"))
+        raw = await asyncio.wait_for(reader.readexactly(length), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    try:
+        decoded = json.loads(raw.decode("utf-8")) if raw else {}
+    except ValueError:
+        decoded = {}
+    if not isinstance(decoded, dict):
+        decoded = {"value": decoded}
+    return status, decoded
 
 
 def parse_body(raw: bytes) -> Dict[str, Any]:

@@ -1,0 +1,422 @@
+"""Cache-affinity routing for the cluster: consistent hashing + HTTP proxy.
+
+The cluster's front process accepts every client connection and forwards
+compute requests to one of N single-process :mod:`repro.serve.app` workers.
+Which worker is not arbitrary: the router consistent-hashes a per-request
+**affinity key** onto a ring of virtual nodes, so the same document pair
+always lands on the same worker and its digest-keyed
+:class:`~repro.service.cache.ScriptCache` entry stays warm *shard-locally*.
+Without affinity a warm entry would exist on one worker while requests
+round-robin across all of them, and the warm≥cold speedup gate would decay
+by roughly the worker count.
+
+Affinity key, in precedence order:
+
+1. the ``X-Affinity-Key`` request header (set by
+   :class:`~repro.serve.client.DiffServiceClient` from the job id);
+2. the ``id`` field of the JSON body, when present;
+3. the SHA-1 of the raw body bytes — identical snapshot pairs hash
+   identically, so even anonymous repeat traffic stays cache-affine.
+
+Failover: every compute endpoint is a pure function of its body, so a
+request whose backend dies mid-flight (connection refused, reset, or a
+truncated response) is **replayed** on the next distinct worker along the
+ring. The ring handles re-ranging naturally — removing a worker reassigns
+only that worker's arc to its ring successors, everything else keeps its
+shard (and its warm cache).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from bisect import bisect_left, insort
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from .lifecycle import Lifecycle
+from .protocol import (
+    PROTOCOL,
+    STATUS_PHRASES,
+    HttpError,
+    dumps,
+    fetch_json,
+    parse_request_line,
+    parse_status_line,
+    read_content_length_body,
+    read_headers,
+)
+
+#: Request headers forwarded verbatim to the backend worker.
+FORWARDED_HEADERS = ("x-client-id", "x-deadline-ms", "x-affinity-key", "accept")
+
+
+def hash_key(key: str) -> int:
+    """Stable 64-bit ring position of *key* (SHA-1 prefix, not ``hash()``)."""
+    return int.from_bytes(hashlib.sha1(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over worker ids with virtual nodes.
+
+    Each member contributes ``replicas`` points so arcs stay balanced; a
+    key is assigned to the owner of the first point at or clockwise after
+    the key's own hash. Adding or removing one member only moves the keys
+    of that member's arcs — the *minimal movement* property the failover
+    and rolling-restart paths rely on to keep caches warm elsewhere.
+    """
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = []  # sorted (hash, worker_id)
+        self._members: set = set()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, worker_id: str) -> bool:
+        return worker_id in self._members
+
+    def members(self) -> List[str]:
+        return sorted(self._members)
+
+    def add(self, worker_id: str) -> None:
+        """Insert a member's virtual nodes (idempotent)."""
+        if worker_id in self._members:
+            return
+        self._members.add(worker_id)
+        for replica in range(self.replicas):
+            insort(self._points, (hash_key(f"{worker_id}#{replica}"), worker_id))
+
+    def remove(self, worker_id: str) -> None:
+        """Drop a member; its arcs fall to the ring successors (idempotent)."""
+        if worker_id not in self._members:
+            return
+        self._members.discard(worker_id)
+        self._points = [point for point in self._points if point[1] != worker_id]
+
+    def assign(self, key: str) -> Optional[str]:
+        """The owning worker for *key*, or None when the ring is empty."""
+        chain = self.assign_chain(key, count=1)
+        return chain[0] if chain else None
+
+    def assign_chain(self, key: str, count: Optional[int] = None) -> List[str]:
+        """Up to *count* distinct workers in ring order starting at *key*.
+
+        The first entry is :meth:`assign`'s answer; the rest are the
+        deterministic failover order — exactly the workers that would
+        inherit the key if earlier entries left the ring.
+        """
+        if not self._points:
+            return []
+        if count is None:
+            count = len(self._members)
+        position = bisect_left(self._points, (hash_key(key), ""))
+        total = len(self._points)
+        out: List[str] = []
+        seen: set = set()
+        for step in range(total):
+            worker_id = self._points[(position + step) % total][1]
+            if worker_id not in seen:
+                seen.add(worker_id)
+                out.append(worker_id)
+                if len(out) >= count:
+                    break
+        return out
+
+
+def affinity_key(path: str, headers: Dict[str, str], body: bytes) -> str:
+    """The routing key of one request (header > body id > body hash)."""
+    explicit = headers.get("x-affinity-key")
+    if explicit:
+        return explicit
+    if body and b'"id"' in body:
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            data = None
+        if isinstance(data, dict) and "id" in data:
+            return str(data["id"])
+    return hashlib.sha1(body if body else path.encode("utf-8")).hexdigest()
+
+
+class Router:
+    """The cluster's front listener: parse, route, proxy, fail over.
+
+    GET ``/healthz`` and ``/metrics`` are answered by the router itself
+    (cluster topology / merged per-worker snapshots via the injected
+    callbacks); everything else is proxied to the affinity-assigned worker
+    with replay-on-failure across the ring chain.
+    """
+
+    def __init__(
+        self,
+        ring: HashRing,
+        ports: Dict[str, int],
+        lifecycle: Lifecycle,
+        health_payload: Callable[[], Dict[str, Any]],
+        merge_metrics: Callable[[Dict[str, Dict[str, Any]]], Dict[str, Any]],
+        on_backend_failure: Optional[Callable[[str], None]] = None,
+        backend_host: str = "127.0.0.1",
+        max_body_bytes: int = 1 << 20,
+        connect_timeout: float = 5.0,
+        proxy_timeout: float = 120.0,
+    ) -> None:
+        self.ring = ring
+        self.ports = ports
+        self.lifecycle = lifecycle
+        self.health_payload = health_payload
+        self.merge_metrics = merge_metrics
+        self.on_backend_failure = on_backend_failure
+        self.backend_host = backend_host
+        self.max_body_bytes = max_body_bytes
+        self.connect_timeout = connect_timeout
+        self.proxy_timeout = proxy_timeout
+        #: Loop-thread-only counters surfaced under ``cluster.router``.
+        self.counters: Dict[str, int] = {}
+        self.active_requests = 0
+        self.server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+        self._conn_tasks: set = set()
+        self._started = time.monotonic()
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Serve loop (same connection discipline as app.DiffServer)
+    # ------------------------------------------------------------------
+    async def start(self, host: str, port: int) -> None:
+        self.server = await asyncio.start_server(self._handle_connection, host, port)
+        sockets = self.server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def close_connections(self) -> None:
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                keep_alive = await self._handle_one_request(reader, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass  # client went away mid-request
+        except asyncio.CancelledError:
+            pass  # post-drain cleanup of idle keep-alive sockets
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_one_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return False
+        self._count("requests")
+        self.active_requests += 1
+        try:
+            return await self._process(reader, writer, request_line)
+        finally:
+            self.active_requests -= 1
+
+    async def _process(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        request_line: bytes,
+    ) -> bool:
+        keep_alive = True
+        raw_response: Optional[bytes] = None
+        extra: Dict[str, str] = {}
+        try:
+            method, path, version = parse_request_line(request_line)
+            headers = await read_headers(reader)
+            wants_close = headers.get("connection", "").lower() == "close"
+            keep_alive = version == "HTTP/1.1" and not wants_close
+            body = b""
+            if method in ("POST", "PUT"):
+                body = await read_content_length_body(
+                    reader, headers, self.max_body_bytes
+                )
+            status, payload, extra = await self._dispatch(method, path, headers, body)
+            if isinstance(payload, bytes):
+                raw_response = payload
+            else:
+                raw_response = dumps(payload)
+        except HttpError as exc:
+            status = exc.status
+            raw_response = dumps(exc.body())
+            if exc.retry_after is not None:
+                extra["Retry-After"] = str(max(1, int(exc.retry_after + 0.999)))
+            if exc.status in (400, 411, 413, 501):
+                keep_alive = False  # request framing is unrecoverable
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # never let a router bug kill the front
+            self._count("internal_errors")
+            status = 500
+            raw_response = dumps(
+                {
+                    "error": "internal",
+                    "message": f"{type(exc).__name__}: {exc}",
+                    "protocol": PROTOCOL,
+                }
+            )
+        if self.lifecycle.draining:
+            keep_alive = False
+        self._count(f"responses_{status // 100}xx")
+        phrase = STATUS_PHRASES.get(status, "Unknown")
+        head = [
+            f"HTTP/1.1 {status} {phrase}",
+            f"Server: {PROTOCOL}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(raw_response)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        head.extend(f"{name}: {value}" for name, value in extra.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + raw_response)
+        await writer.drain()
+        return keep_alive
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        if path == "/healthz":
+            if method != "GET":
+                raise HttpError(405, "method_not_allowed", f"{path} only accepts GET")
+            return 200, self.health_payload(), {}
+        if path == "/metrics":
+            if method != "GET":
+                raise HttpError(405, "method_not_allowed", f"{path} only accepts GET")
+            return 200, await self.aggregate_metrics(), {}
+        if self.lifecycle.draining:
+            self._count("rejected_draining")
+            raise HttpError(
+                503, "draining", "cluster is draining; retry elsewhere", retry_after=1.0
+            )
+        return await self._proxy(method, path, headers, body)
+
+    async def _proxy(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        key = affinity_key(path, headers, body)
+        chain = self.ring.assign_chain(key)
+        last_error = "no live workers"
+        for position, worker_id in enumerate(chain):
+            port = self.ports.get(worker_id)
+            if port is None:
+                continue
+            try:
+                status, resp_body = await self._forward(port, method, path, headers, body)
+            except (OSError, asyncio.IncompleteReadError, asyncio.TimeoutError) as exc:
+                # The backend died under the request. Compute endpoints are
+                # pure functions of the body, so replaying on the next ring
+                # successor is safe — the client never sees the crash.
+                self._count("proxy_failovers")
+                last_error = f"{worker_id}: {type(exc).__name__}: {exc}"
+                if self.on_backend_failure is not None:
+                    self.on_backend_failure(worker_id)
+                continue
+            self._count("proxied")
+            if position > 0:
+                self._count("proxied_rerouted")
+            return status, resp_body, {"X-Worker-Id": worker_id}
+        self._count("rejected_no_backend")
+        raise HttpError(
+            503,
+            "no_backend",
+            f"no worker could serve the request ({last_error})",
+            retry_after=0.5,
+        )
+
+    async def _forward(
+        self, port: int, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, bytes]:
+        """One fully-framed request/response exchange with a worker."""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.backend_host, port), self.connect_timeout
+        )
+        try:
+            head = [
+                f"{method} {path} HTTP/1.1",
+                f"Host: {self.backend_host}:{port}",
+                "Connection: close",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}",
+            ]
+            for name in FORWARDED_HEADERS:
+                if name in headers:
+                    head.append(f"{name}: {headers[name]}")
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+            await writer.drain()
+            status_line = await asyncio.wait_for(reader.readline(), self.proxy_timeout)
+            if not status_line:
+                raise asyncio.IncompleteReadError(b"", None)
+            status = parse_status_line(status_line)
+            resp_headers = await asyncio.wait_for(
+                read_headers(reader), self.proxy_timeout
+            )
+            length = int(resp_headers.get("content-length", "0"))
+            resp_body = await asyncio.wait_for(
+                reader.readexactly(length), self.proxy_timeout
+            )
+            return status, resp_body
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    async def aggregate_metrics(self) -> Dict[str, Any]:
+        """Fan ``GET /metrics`` out to every live worker and merge."""
+        live = [(wid, port) for wid, port in sorted(self.ports.items())]
+        fetches: List[Awaitable] = [
+            fetch_json(self.backend_host, port, "/metrics", timeout=self.connect_timeout)
+            for _, port in live
+        ]
+        results = await asyncio.gather(*fetches, return_exceptions=True)
+        snapshots: Dict[str, Dict[str, Any]] = {}
+        for (worker_id, _), result in zip(live, results):
+            if isinstance(result, BaseException):
+                continue
+            status, decoded = result
+            if status == 200:
+                snapshots[worker_id] = decoded
+        merged = self.merge_metrics(snapshots)
+        merged["cluster"] = self.stats()
+        merged["protocol"] = PROTOCOL
+        return merged
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "router": dict(sorted(self.counters.items())),
+            "live_workers": self.ring.members(),
+            "draining": self.lifecycle.draining,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+        }

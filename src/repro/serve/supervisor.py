@@ -1,0 +1,406 @@
+"""Worker process supervision: spawn, health-check, restart, roll.
+
+The supervisor owns N ``repro-diff serve`` subprocesses (the single-process
+asyncio app from PR 6, each on its own ephemeral port) and keeps the
+routing layer's view of them honest:
+
+* **startup** — spawn, parse the ``listening on http://host:port`` banner,
+  gate on ``/healthz``, then announce the worker *up* (ring add);
+* **crash recovery** — a worker that exits (or flunks health checks) is
+  announced *down* immediately (ring remove: its hash arc re-routes to
+  live workers — degraded, not down) and respawned after a capped
+  exponential backoff, so a crash-looping worker cannot hot-spin the
+  supervisor;
+* **rolling restart** (SIGHUP) — one worker at a time: announce down,
+  SIGTERM (the worker's own :class:`~repro.serve.lifecycle.Lifecycle`
+  drains in-flight requests and exits 0), respawn, wait healthy, move on —
+  the cluster never loses more than one shard of capacity;
+* **final metrics** — each worker's last ``METRICS {json}`` stdout line is
+  captured so the cluster can emit one merged dump at shutdown.
+
+Everything runs on the cluster's event loop; subprocess I/O is consumed by
+per-worker reader tasks so pipes never fill up and block a worker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from .protocol import fetch_json
+
+#: Health checks a worker may miss consecutively before it is declared down.
+MAX_HEALTH_MISSES = 3
+
+
+class WorkerStartupError(RuntimeError):
+    """A worker failed to bind or to pass its first health check."""
+
+
+class WorkerHandle:
+    """Everything the supervisor knows about one worker process."""
+
+    def __init__(self, worker_id: str) -> None:
+        self.worker_id = worker_id
+        self.proc: Optional[asyncio.subprocess.Process] = None
+        self.port: Optional[int] = None
+        self.pid: Optional[int] = None
+        #: ``starting`` → ``up`` → (``suspect`` | ``down``) → ``up`` …
+        self.state = "stopped"
+        self.restarts = 0
+        self.health_misses = 0
+        self.consecutive_failures = 0  # drives the restart backoff
+        self.retry_at = 0.0  # loop time before which no respawn happens
+        self.last_exit: Optional[int] = None
+        self.final_metrics: Optional[Dict[str, Any]] = None
+        #: Final METRICS dumps of previous incarnations (rolling restarts).
+        self.retired_metrics: List[Dict[str, Any]] = []
+        self.stderr_tail: deque = deque(maxlen=40)
+        self._reader_tasks: List[asyncio.Task] = []
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.returncode is None
+
+    def info(self) -> Dict[str, Any]:
+        """JSON-friendly view used by the cluster ``/healthz`` payload."""
+        return {
+            "state": self.state,
+            "port": self.port,
+            "pid": self.pid,
+            "restarts": self.restarts,
+            "last_exit": self.last_exit,
+        }
+
+
+class Supervisor:
+    """Spawn and babysit the worker fleet on the current event loop."""
+
+    def __init__(
+        self,
+        count: int,
+        argv_factory: Callable[[str], List[str]],
+        env: Optional[Dict[str, str]] = None,
+        backend_host: str = "127.0.0.1",
+        health_interval: float = 0.5,
+        health_timeout: float = 2.0,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 5.0,
+        startup_timeout: float = 60.0,
+        stop_timeout: float = 30.0,
+        on_up: Optional[Callable[[WorkerHandle], None]] = None,
+        on_down: Optional[Callable[[WorkerHandle], None]] = None,
+    ) -> None:
+        if count < 1:
+            raise ValueError(f"worker count must be >= 1, got {count}")
+        self.argv_factory = argv_factory
+        self.env = env
+        self.backend_host = backend_host
+        self.health_interval = health_interval
+        self.health_timeout = health_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.startup_timeout = startup_timeout
+        self.stop_timeout = stop_timeout
+        self.on_up = on_up
+        self.on_down = on_down
+        self.workers: Dict[str, WorkerHandle] = {
+            f"w{index}": WorkerHandle(f"w{index}") for index in range(count)
+        }
+        self._stopping = False
+        self._rolling = False
+
+    # ------------------------------------------------------------------
+    # Notifications
+    # ------------------------------------------------------------------
+    def _notify_up(self, handle: WorkerHandle) -> None:
+        handle.state = "up"
+        handle.health_misses = 0
+        handle.consecutive_failures = 0
+        if self.on_up is not None:
+            self.on_up(handle)
+
+    def _notify_down(self, handle: WorkerHandle, state: str = "down") -> None:
+        handle.state = state
+        if self.on_down is not None:
+            self.on_down(handle)
+
+    def suspect(self, worker_id: str) -> None:
+        """Router feedback: a proxied request to this worker just failed.
+
+        The worker is pulled from the ring *now* (no more traffic) and the
+        supervise loop re-verifies it on its next tick — a healthy worker
+        (transient blip) rejoins, a dead one enters the restart path.
+        """
+        handle = self.workers.get(worker_id)
+        if handle is not None and handle.state == "up":
+            self._notify_down(handle, state="suspect")
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn every worker and wait until all are up (or raise)."""
+        await asyncio.gather(*(self._spawn(h) for h in self.workers.values()))
+
+    async def _spawn(self, handle: WorkerHandle) -> None:
+        handle.state = "starting"
+        handle.port = None
+        if handle.final_metrics is not None:
+            handle.retired_metrics.append(handle.final_metrics)
+            handle.final_metrics = None
+        if handle._reader_tasks:  # pumps of a previous incarnation
+            for task in handle._reader_tasks:
+                task.cancel()
+            await asyncio.gather(*handle._reader_tasks, return_exceptions=True)
+            handle._reader_tasks = []
+        argv = self.argv_factory(handle.worker_id)
+        handle.proc = await asyncio.create_subprocess_exec(
+            *argv,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.PIPE,
+            env=self.env,
+        )
+        handle.pid = handle.proc.pid
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.startup_timeout
+        try:
+            while True:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    raise WorkerStartupError(
+                        f"{handle.worker_id}: no startup banner within "
+                        f"{self.startup_timeout}s"
+                    )
+                line = await asyncio.wait_for(
+                    handle.proc.stdout.readline(), remaining
+                )
+                if not line:
+                    raise WorkerStartupError(
+                        f"{handle.worker_id}: exited before binding "
+                        f"(stderr: {await self._drain_stderr_once(handle)})"
+                    )
+                if b"listening on" in line:
+                    handle.port = int(line.decode().strip().rsplit(":", 1)[1])
+                    break
+        except (WorkerStartupError, asyncio.TimeoutError, ValueError) as exc:
+            self._kill_quietly(handle)
+            raise WorkerStartupError(str(exc)) from exc
+        handle._reader_tasks = [
+            asyncio.ensure_future(self._pump_stdout(handle)),
+            asyncio.ensure_future(self._pump_stderr(handle)),
+        ]
+        if not await self._await_healthy(handle, deadline):
+            self._kill_quietly(handle)
+            raise WorkerStartupError(
+                f"{handle.worker_id}: bound port {handle.port} but never "
+                f"answered /healthz"
+            )
+        self._notify_up(handle)
+
+    async def _await_healthy(self, handle: WorkerHandle, deadline: float) -> bool:
+        loop = asyncio.get_running_loop()
+        while loop.time() < deadline:
+            if await self._check_health(handle):
+                return True
+            await asyncio.sleep(0.05)
+        return False
+
+    async def _check_health(self, handle: WorkerHandle) -> bool:
+        if handle.port is None or not handle.alive():
+            return False
+        try:
+            status, payload = await fetch_json(
+                self.backend_host, handle.port, "/healthz", self.health_timeout
+            )
+        except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError):
+            return False
+        return status == 200 and payload.get("status") == "ok"
+
+    # ------------------------------------------------------------------
+    # Subprocess I/O pumps
+    # ------------------------------------------------------------------
+    async def _pump_stdout(self, handle: WorkerHandle) -> None:
+        proc = handle.proc
+        assert proc is not None and proc.stdout is not None
+        while True:
+            line = await proc.stdout.readline()
+            if not line:
+                return
+            if line.startswith(b"METRICS "):
+                try:
+                    handle.final_metrics = json.loads(line[len(b"METRICS "):])
+                except ValueError:
+                    pass
+
+    async def _pump_stderr(self, handle: WorkerHandle) -> None:
+        proc = handle.proc
+        assert proc is not None and proc.stderr is not None
+        while True:
+            line = await proc.stderr.readline()
+            if not line:
+                return
+            handle.stderr_tail.append(line.decode("utf-8", "replace").rstrip())
+
+    async def _drain_stderr_once(self, handle: WorkerHandle) -> str:
+        try:
+            raw = await asyncio.wait_for(handle.proc.stderr.read(4096), 1.0)
+        except (asyncio.TimeoutError, AttributeError):
+            return ""
+        return raw.decode("utf-8", "replace")[-500:]
+
+    def _kill_quietly(self, handle: WorkerHandle) -> None:
+        if handle.alive():
+            try:
+                handle.proc.kill()
+            except ProcessLookupError:
+                pass
+
+    # ------------------------------------------------------------------
+    # The supervision loop
+    # ------------------------------------------------------------------
+    async def supervise(self) -> None:
+        """Health-check loop; runs until cancelled or :meth:`stop`."""
+        loop = asyncio.get_running_loop()
+        while not self._stopping:
+            await asyncio.sleep(self.health_interval)
+            if self._rolling:
+                continue  # rolling_restart owns worker state transitions
+            for handle in self.workers.values():
+                if self._stopping:
+                    break
+                if handle.state in ("up", "suspect"):
+                    await self._tick_live(handle)
+                elif handle.state == "down" and loop.time() >= handle.retry_at:
+                    await self._try_restart(handle, loop)
+
+    async def _tick_live(self, handle: WorkerHandle) -> None:
+        if not handle.alive():
+            handle.last_exit = handle.proc.returncode if handle.proc else None
+            self._schedule_restart(handle)
+            return
+        if await self._check_health(handle):
+            if handle.state == "suspect":
+                self._notify_up(handle)  # transient blip: rejoin the ring
+            handle.health_misses = 0
+            return
+        handle.health_misses += 1
+        if handle.health_misses >= MAX_HEALTH_MISSES or handle.state == "suspect":
+            self._schedule_restart(handle, terminate=True)
+
+    def _schedule_restart(self, handle: WorkerHandle, terminate: bool = False) -> None:
+        """Announce down and arm the capped-backoff respawn timer."""
+        loop = asyncio.get_running_loop()
+        if terminate:
+            self._kill_quietly(handle)
+        backoff = min(
+            self.backoff_cap, self.backoff_base * (2.0 ** handle.consecutive_failures)
+        )
+        handle.consecutive_failures += 1
+        handle.retry_at = loop.time() + backoff
+        self._notify_down(handle)
+
+    async def _try_restart(self, handle: WorkerHandle, loop) -> None:
+        try:
+            await self._spawn(handle)
+        except WorkerStartupError:
+            backoff = min(
+                self.backoff_cap,
+                self.backoff_base * (2.0 ** handle.consecutive_failures),
+            )
+            handle.consecutive_failures += 1
+            handle.state = "down"
+            handle.retry_at = loop.time() + backoff
+        else:
+            handle.restarts += 1
+
+    # ------------------------------------------------------------------
+    # Rolling restart (SIGHUP)
+    # ------------------------------------------------------------------
+    async def rolling_restart(self) -> int:
+        """Drain and replace workers one at a time; returns workers rolled."""
+        if self._rolling or self._stopping:
+            return 0
+        self._rolling = True
+        rolled = 0
+        try:
+            for worker_id in sorted(self.workers):
+                if self._stopping:
+                    break
+                handle = self.workers[worker_id]
+                if handle.state != "up":
+                    continue  # crashed workers are the supervise loop's job
+                self._notify_down(handle, state="draining")
+                await self._terminate(handle)
+                await self._spawn(handle)
+                handle.restarts += 1
+                rolled += 1
+        finally:
+            self._rolling = False
+        return rolled
+
+    async def _terminate(self, handle: WorkerHandle) -> None:
+        """SIGTERM one worker and wait for its graceful drain."""
+        if not handle.alive():
+            return
+        try:
+            handle.proc.send_signal(signal.SIGTERM)
+        except ProcessLookupError:
+            return
+        try:
+            await asyncio.wait_for(handle.proc.wait(), self.stop_timeout)
+        except asyncio.TimeoutError:
+            self._kill_quietly(handle)
+            await handle.proc.wait()
+        handle.last_exit = handle.proc.returncode
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    async def stop(self) -> None:
+        """SIGTERM the whole fleet and collect the stragglers."""
+        self._stopping = True
+        live = [h for h in self.workers.values() if h.alive()]
+        for handle in live:
+            try:
+                handle.proc.send_signal(signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        await asyncio.gather(*(self._reap(h) for h in live))
+        for handle in self.workers.values():
+            self._notify_down(handle, state="stopped")
+
+    async def _reap(self, handle: WorkerHandle) -> None:
+        try:
+            await asyncio.wait_for(handle.proc.wait(), self.stop_timeout)
+        except asyncio.TimeoutError:
+            self._kill_quietly(handle)
+            await handle.proc.wait()
+        handle.last_exit = handle.proc.returncode
+        # Let the pumps hit EOF so final METRICS lines are captured.
+        if handle._reader_tasks:
+            await asyncio.gather(*handle._reader_tasks, return_exceptions=True)
+            handle._reader_tasks = []
+
+    def final_metrics(self) -> Dict[str, Dict[str, Any]]:
+        """Per-incarnation final METRICS dumps captured from worker stdout.
+
+        Rolled or crash-replaced incarnations appear as ``w0@0``, ``w0@1``,
+        … so a rolling restart does not drop the pre-roll traffic from the
+        cluster's merged final dump.
+        """
+        dumps: Dict[str, Dict[str, Any]] = {}
+        for worker_id, handle in sorted(self.workers.items()):
+            for index, retired in enumerate(handle.retired_metrics):
+                dumps[f"{worker_id}@{index}"] = retired
+            if handle.final_metrics is not None:
+                dumps[worker_id] = handle.final_metrics
+        return dumps
+
+    def info(self) -> Dict[str, Dict[str, Any]]:
+        return {
+            worker_id: handle.info()
+            for worker_id, handle in sorted(self.workers.items())
+        }

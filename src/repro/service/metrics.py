@@ -174,6 +174,13 @@ class ServiceMetrics:
             "verify": verify,
         }
 
+    @staticmethod
+    def merge_snapshots(
+        snapshots: Dict[str, Dict[str, object]]
+    ) -> Dict[str, object]:
+        """Module-level :func:`merge_snapshots` exposed on the class."""
+        return merge_snapshots(snapshots)
+
     def render(self, cache_stats: Optional[Dict[str, int]] = None) -> str:
         """Human-readable summary block (used by ``repro-diff batch``)."""
         snap = self.snapshot()
@@ -211,3 +218,99 @@ class ServiceMetrics:
                 f"evictions={cache_stats['evictions']}"
             )
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Cross-process aggregation (the cluster's /metrics endpoint)
+# ---------------------------------------------------------------------------
+def _merge_histogram_stats(stats_list):
+    """Merge per-worker histogram *snapshots* (not raw samples).
+
+    Counts sum exactly and means merge exactly (count-weighted). True
+    percentiles are not recoverable from per-worker percentiles, so p50/p95/
+    p99 merge as the count-weighted average — the standard snapshot-level
+    approximation — while ``max_ms`` merges exactly as the max.
+    """
+    total = sum(int(stats.get("count", 0)) for stats in stats_list)
+    keys = sorted({key for stats in stats_list for key in stats if key != "count"})
+    merged = {"count": total}
+    for key in keys:
+        values = [
+            (int(stats.get("count", 0)), float(stats.get(key, 0.0)))
+            for stats in stats_list
+            if key in stats
+        ]
+        if key == "max_ms":
+            merged[key] = round(max((v for _, v in values), default=0.0), 3)
+        elif total == 0:
+            merged[key] = 0.0
+        else:
+            merged[key] = round(
+                sum(count * value for count, value in values) / total, 3
+            )
+    return merged
+
+
+def merge_snapshots(snapshots):
+    """Merge per-worker :meth:`ServiceMetrics.snapshot` dicts into one view.
+
+    *snapshots* maps a worker id to that worker's snapshot (the payload of
+    its ``/metrics`` endpoint, or its final ``METRICS`` dump). The result
+    mirrors the single-process snapshot shape — counters summed, wall-time
+    and per-stage histograms merged, verify oracle tallies summed, cache
+    stats summed — and additionally tags every input under ``workers`` so
+    per-shard numbers stay inspectable.
+    """
+    ordered = {worker_id: snapshots[worker_id] for worker_id in sorted(snapshots)}
+    counters: Dict[str, int] = {}
+    for snap in ordered.values():
+        for name, value in (snap.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+
+    wall = _merge_histogram_stats(
+        [snap.get("wall_time") or {} for snap in ordered.values()]
+    )
+    stage_names = sorted(
+        {name for snap in ordered.values() for name in (snap.get("stages") or {})}
+    )
+    stages = {
+        name: _merge_histogram_stats(
+            [
+                (snap.get("stages") or {}).get(name)
+                for snap in ordered.values()
+                if name in (snap.get("stages") or {})
+            ]
+        )
+        for name in stage_names
+    }
+
+    verify_ok = True
+    oracle_names: Dict[str, Dict[str, int]] = {}
+    for snap in ordered.values():
+        verify = snap.get("verify") or {}
+        if not verify.get("ok", True):
+            verify_ok = False
+        for name, tally in (verify.get("oracles") or {}).items():
+            merged_tally = oracle_names.setdefault(name, {"pass": 0, "fail": 0})
+            merged_tally["pass"] += int(tally.get("pass", 0))
+            merged_tally["fail"] += int(tally.get("fail", 0))
+
+    cache: Optional[Dict[str, int]] = None
+    for snap in ordered.values():
+        worker_cache = snap.get("cache")
+        if not isinstance(worker_cache, dict):
+            continue
+        if cache is None:
+            cache = {key: 0 for key in worker_cache}
+        for key, value in worker_cache.items():
+            if isinstance(value, (int, float)):
+                cache[key] = cache.get(key, 0) + int(value)
+
+    return {
+        "counters": counters,
+        "wall_time": wall,
+        "stages": stages,
+        "verify": {"ok": verify_ok, "oracles": oracle_names},
+        "cache": cache,
+        "workers": ordered,
+    }

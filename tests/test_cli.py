@@ -213,7 +213,12 @@ class TestServeCommand:
         assert args.rate == 2.5
 
     def test_invalid_workers_exit_2(self, capsys):
-        assert main(["serve", "--port", "0", "--workers", "0"]) == 2
+        assert main(["serve", "--port", "0", "--workers", "-1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_threads_exit_2(self, capsys):
+        # 0 engine threads is rejected before any socket is bound
+        assert main(["serve", "--port", "0", "--threads", "0"]) == 2
         assert "error" in capsys.readouterr().err
 
     def test_invalid_queue_depth_exit_2(self, capsys):

@@ -173,7 +173,8 @@ class TestRetryPolicy:
         # the cap binds eventually: no sleep exceeds it
         assert max(client.sleeps) <= 0.5
 
-    def test_connection_refused_is_retried_then_raised(self):
+    @staticmethod
+    def _dead_port() -> int:
         # a bound-then-closed socket yields a dead port nothing listens on
         import socket
 
@@ -181,12 +182,50 @@ class TestRetryPolicy:
         probe.bind(("127.0.0.1", 0))
         dead_port = probe.getsockname()[1]
         probe.close()
-        with make_client(dead_port, retries=2) as client:
+        return dead_port
+
+    def test_connection_refused_is_retried_then_raised(self):
+        with make_client(self._dead_port(), retries=2, connect_retries=0) as client:
             with pytest.raises(ServiceError) as err:
                 client.request("GET", "/healthz")
         assert err.value.status == 0
         assert err.value.payload["error"] == "connection"
         assert len(client.sleeps) == 2
+
+    def test_connect_retries_budget_is_separate_and_flat(self):
+        # refused connects draw on connect_retries first (flat base-jitter
+        # sleeps), then on the main exponential budget
+        with make_client(
+            self._dead_port(), retries=2, connect_retries=3, backoff_base=0.1
+        ) as client:
+            with pytest.raises(ServiceError) as err:
+                client.request("GET", "/healthz")
+        assert err.value.attempts == 1 + 3 + 2  # first + refused budget + retries
+        assert len(client.sleeps) == 5
+        # the refused-budget sleeps never escalate past the base window
+        for delay in client.sleeps[:3]:
+            assert 0.0 <= delay <= 0.1
+
+    def test_connect_retries_recovers_mid_restart(self, stub_factory):
+        # refused-then-up: the transparent budget hides a restart window
+        stub = stub_factory([(200, {}, {"ok": True})])
+        refused = {"count": 2}
+        real_port = stub.port
+
+        class FlakyClient(DiffServiceClient):
+            def request_once(self, method, path, payload=None):
+                if refused["count"] > 0:
+                    refused["count"] -= 1
+                    raise ConnectionRefusedError(111, "Connection refused")
+                return super().request_once(method, path, payload)
+
+        client = FlakyClient(
+            port=real_port, retries=0, connect_retries=4,
+            sleep=lambda _s: None, rng=random.Random(7),
+        )
+        assert client.request("GET", "/healthz") == {"ok": True}
+        assert len(client.sleeps) == 2  # one per refused connect
+        client.close()
 
     def test_jitter_schedule_is_deterministic_given_rng(self, stub_factory):
         responses = [(500, {}, {"error": "x"})] * 4
