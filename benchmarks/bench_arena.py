@@ -1,0 +1,217 @@
+"""Arena core payoff: parse + index build, struct-of-arrays vs node objects.
+
+The arena refactor's claim is that the hot ingest path — parse a serialized
+tree, build its :class:`~repro.core.index.TreeIndex` — should not pay one
+Python object and one children list per node. This benchmark measures the
+whole ingest pipeline on a ~10k-node document corpus through both cores:
+
+* **object**: the pre-refactor path, kept verbatim as
+  ``serialization._tree_from_dict_objects`` + ``index.LegacyTreeIndex``
+  (node-graph parse, dict-table index build);
+* **arena**: ``tree_from_dict`` (parses straight into a
+  :class:`~repro.core.arena.TreeArena`; no ``Node`` is ever built) +
+  ``TreeIndex`` (reads the arrays directly).
+
+Two gates, both enforced here and by ``check_regression.py`` against the
+committed baseline:
+
+* wall-clock speedup ``>= 1.5x`` (``parse_index_speedup``);
+* peak ``tracemalloc`` memory ratio arena/object ``<= 0.6``
+  (``mem_ratio``).
+
+Run directly for the table, ``--smoke`` for the fast CI configuration,
+``--json-out PATH`` to also write the ``BENCH`` payload to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+
+from repro.core.index import LegacyTreeIndex, TreeIndex
+from repro.core.isomorphism import trees_isomorphic
+from repro.core.serialization import _tree_from_dict_objects, tree_from_dict
+
+from conftest import print_table
+
+MIN_SPEEDUP = 1.5
+MAX_MEM_RATIO = 0.6
+
+#: words recycled across sentence values so value interning sees realistic
+#: repetition (documents reuse vocabulary; so do database dumps)
+_WORDS = (
+    "change detection hierarchical structured information ordered tree "
+    "matching edit script minimum cost delta snapshot warehouse"
+).split()
+
+
+def build_corpus(sections: int, paragraphs: int, sentences: int) -> dict:
+    """A deterministic D/SEC/P/S document as a serialized dict."""
+
+    def sentence(i: int) -> dict:
+        words = [_WORDS[(i + k) % len(_WORDS)] for k in range(4)]
+        return {"label": "S", "value": " ".join(words)}
+
+    count = 0
+    section_nodes = []
+    for s in range(sections):
+        paragraph_nodes = []
+        for p in range(paragraphs):
+            leaves = []
+            for _ in range(sentences):
+                leaves.append(sentence(count))
+                count += 1
+            paragraph_nodes.append(
+                {"label": "P", "value": None, "children": leaves}
+            )
+        section_nodes.append(
+            {"label": "SEC", "value": f"section {s}", "children": paragraph_nodes}
+        )
+    return {"label": "D", "value": None, "children": section_nodes}
+
+
+def parse_index_object(data: dict):
+    tree = _tree_from_dict_objects(data)
+    return tree, LegacyTreeIndex(tree)
+
+
+def parse_index_arena(data: dict):
+    tree = tree_from_dict(data)  # lazy arena view: no Node objects
+    return tree, TreeIndex(tree)
+
+
+def _time(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _peak_bytes(fn) -> int:
+    tracemalloc.start()
+    try:
+        fn()
+        return tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+
+def measure(sections: int = 24, paragraphs: int = 20, sentences: int = 20,
+            rounds: int = 3) -> dict:
+    data = build_corpus(sections, paragraphs, sentences)
+
+    # Both cores must agree before the timings mean anything.
+    object_tree, object_index = parse_index_object(data)
+    arena_tree, arena_index = parse_index_arena(data)
+    assert trees_isomorphic(object_tree, arena_tree)
+    assert len(object_index) == len(arena_index)
+    root_id = next(iter(arena_tree.node_ids()))
+    assert arena_index.subtree_size(root_id) == object_index.subtree_size(root_id)
+    assert arena_index.leaf_count(root_id) == object_index.leaf_count(root_id)
+    nodes = len(arena_tree)
+
+    object_s = _time(lambda: parse_index_object(data), rounds)
+    arena_s = _time(lambda: parse_index_arena(data), rounds)
+    object_peak = _peak_bytes(lambda: parse_index_object(data))
+    arena_peak = _peak_bytes(lambda: parse_index_arena(data))
+    return {
+        "nodes": nodes,
+        "object_s": object_s,
+        "arena_s": arena_s,
+        "parse_index_speedup": object_s / arena_s,
+        "object_peak_kb": object_peak / 1024.0,
+        "arena_peak_kb": arena_peak / 1024.0,
+        "mem_ratio": arena_peak / object_peak,
+    }
+
+
+def report(stats: dict) -> dict:
+    print_table(
+        f"parse + index build on a {stats['nodes']}-node document corpus",
+        ["core", "wall ms", "peak KiB"],
+        [
+            ("object (Node graph)", f"{stats['object_s'] * 1e3:.2f}",
+             f"{stats['object_peak_kb']:.0f}"),
+            ("arena (struct-of-arrays)", f"{stats['arena_s'] * 1e3:.2f}",
+             f"{stats['arena_peak_kb']:.0f}"),
+        ],
+    )
+    print(f"speedup   = {stats['parse_index_speedup']:.2f}x "
+          f"(required >= {MIN_SPEEDUP}x)")
+    print(f"mem ratio = {stats['mem_ratio']:.2f} "
+          f"(required <= {MAX_MEM_RATIO})")
+    payload = {
+        "benchmark": "bench_arena",
+        "nodes": stats["nodes"],
+        "parse_index_speedup": round(stats["parse_index_speedup"], 3),
+        "mem_ratio": round(stats["mem_ratio"], 3),
+        "object_ms": round(stats["object_s"] * 1e3, 3),
+        "arena_ms": round(stats["arena_s"] * 1e3, 3),
+        "object_peak_kb": round(stats["object_peak_kb"], 1),
+        "arena_peak_kb": round(stats["arena_peak_kb"], 1),
+    }
+    print("BENCH " + json.dumps(payload))
+    return payload
+
+
+def _check(stats: dict) -> int:
+    status = 0
+    if stats["parse_index_speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup below {MIN_SPEEDUP}x", file=sys.stderr)
+        status = 1
+    if stats["mem_ratio"] > MAX_MEM_RATIO:
+        print(f"FAIL: memory ratio above {MAX_MEM_RATIO}", file=sys.stderr)
+        status = 1
+    return status
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry point
+# ---------------------------------------------------------------------------
+def test_arena_parse_index_speedup(benchmark):
+    stats = benchmark.pedantic(
+        lambda: measure(rounds=2), rounds=1, iterations=1,
+    )
+    benchmark.extra_info["parse_index_speedup"] = round(
+        stats["parse_index_speedup"], 2
+    )
+    benchmark.extra_info["mem_ratio"] = round(stats["mem_ratio"], 2)
+    assert stats["parse_index_speedup"] >= MIN_SPEEDUP
+    assert stats["mem_ratio"] <= MAX_MEM_RATIO
+
+
+# ---------------------------------------------------------------------------
+# Direct / CI-smoke execution
+# ---------------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer timing rounds (used by CI; the corpus itself is cheap "
+             "enough to keep at full size, and the gates are calibrated "
+             "on it)",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="also write the BENCH payload to this file",
+    )
+    args = parser.parse_args(argv)
+    stats = measure(rounds=2 if args.smoke else 3)
+    payload = report(stats)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_out}")
+    status = _check(stats)
+    if status == 0 and args.smoke:
+        print("arena benchmark smoke: OK")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

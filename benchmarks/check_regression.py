@@ -44,6 +44,13 @@ POLICIES = {
         "job_p99_ms": ("lower", 1.0),
         "drained_clean": ("equals", None),
     },
+    "bench_arena": {
+        # wall-clock ratio between the two in-process cores; far less noisy
+        # than absolute times but still machine-sensitive on shared runners
+        "parse_index_speedup": ("higher", 0.5),
+        # allocation shape is deterministic, so the default band suffices
+        "mem_ratio": ("lower", None),
+    },
     "bench_cluster": {
         "cluster_speedup": ("higher", None),
         "warm_speedup": ("higher", 0.5),

@@ -1,0 +1,19 @@
+"""Small cross-version compatibility shims.
+
+The library supports Python 3.9+, but newer interpreters offer cheaper
+building blocks for hot-path records. Centralizing the feature tests here
+keeps call sites declarative (``@dataclass(frozen=True, **DATACLASS_SLOTS)``)
+instead of sprinkling version checks around.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict
+
+#: Extra ``dataclass`` keyword arguments enabling ``__slots__`` generation
+#: where the interpreter supports it (3.10+). On 3.9 the decorator falls
+#: back to ordinary ``__dict__``-backed instances — same API, more memory.
+DATACLASS_SLOTS: Dict[str, Any] = (
+    {"slots": True} if sys.version_info >= (3, 10) else {}
+)

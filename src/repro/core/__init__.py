@@ -1,5 +1,12 @@
 """Core substrate: ordered labeled-value trees and their invariants."""
 
+from .arena import (
+    ArenaBuilder,
+    ArenaOverlay,
+    TreeArena,
+    arenas_isomorphic,
+    flatten_root,
+)
 from .errors import (
     CyclicMoveError,
     DuplicateNodeError,
@@ -30,6 +37,9 @@ from .serialization import (
 from .tree import Tree, map_tree
 
 __all__ = [
+    "ArenaBuilder",
+    "ArenaOverlay",
+    "TreeArena",
     "CyclicMoveError",
     "DuplicateNodeError",
     "EditScriptError",
@@ -44,8 +54,10 @@ __all__ = [
     "Tree",
     "TreeError",
     "UnknownNodeError",
+    "arenas_isomorphic",
     "canonical_form",
     "first_difference",
+    "flatten_root",
     "isomorphism_mapping",
     "map_tree",
     "tree_from_dict",

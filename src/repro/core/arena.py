@@ -1,0 +1,588 @@
+"""Struct-of-arrays tree storage: the arena core.
+
+The paper's algorithms (FastMatch, edit-script generation, the Criterion-2
+leaf comparisons) are linear-ish passes over node sequences, but a
+pointer-based :class:`~repro.core.node.Node` graph pays one Python object
+plus a children list per node — at service scale the dominant cost is
+allocation and pointer-chasing, not algorithmic work.
+
+:class:`TreeArena` flattens a whole tree into six parallel arrays indexed by
+**preorder position**:
+
+=================  ====================================================
+``node_ids[p]``     the node's identifier (arbitrary Python object)
+``labels[p]``       index into ``label_pool`` (interned label)
+``values[p]``       index into ``value_pool`` (interned value)
+``parent[p]``       preorder position of the parent, ``-1`` for the root
+``first_child[p]``  position of the first child, ``-1`` for leaves
+``next_sibling[p]`` position of the next sibling, ``-1`` for last children
+``subtree_size[p]`` number of nodes in the subtree rooted at ``p``
+=================  ====================================================
+
+Preorder indexing gives the two identities every consumer leans on:
+
+* the subtree rooted at ``p`` is exactly the contiguous slice
+  ``[p, p + subtree_size[p])`` — ancestor tests are two comparisons;
+* a node ``q`` lies under ``p`` iff ``p <= q < p + subtree_size[p]``.
+
+An arena is **immutable** once built. Edits are expressed through
+:class:`ArenaOverlay`, a copy-on-write layer that implements the paper's
+four primitives (INS/DEL/UPD/MOV) against an arena without touching it and
+can be re-flattened into a fresh arena with :meth:`ArenaOverlay.flatten`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .errors import (
+    CyclicMoveError,
+    DuplicateNodeError,
+    InvalidPositionError,
+    NotALeafError,
+    RootOperationError,
+    TreeError,
+    UnknownNodeError,
+)
+
+
+class Interner:
+    """Deduplicating append-only pool of labels or values.
+
+    Values are deduplicated by ``(type, value)`` so ``1``, ``1.0`` and
+    ``True`` (equal and hash-equal in Python) keep distinct pool slots —
+    digests and serialization distinguish them, so the pool must too.
+    Unhashable values (lists, dicts) are stored without deduplication.
+    """
+
+    __slots__ = ("pool", "_ids")
+
+    def __init__(self) -> None:
+        self.pool: List[Any] = []
+        self._ids: Dict[Any, int] = {}
+
+    def intern(self, value: Any) -> int:
+        """Return the pool index for *value*, adding it if new."""
+        try:
+            idx = self._ids.get((value.__class__, value))
+        except TypeError:  # unhashable: append without dedup
+            self.pool.append(value)
+            return len(self.pool) - 1
+        if idx is None:
+            idx = len(self.pool)
+            self._ids[(value.__class__, value)] = idx
+            self.pool.append(value)
+        return idx
+
+    def __len__(self) -> int:
+        return len(self.pool)
+
+
+class ArenaBuilder:
+    """Incremental preorder construction of a :class:`TreeArena`.
+
+    Nodes must be added in preorder: the root first (``parent_pos=-1``),
+    then each node after its parent and after its earlier siblings'
+    subtrees. :meth:`add` returns the new node's preorder position, which
+    callers pass back as ``parent_pos`` for its children.
+    """
+
+    __slots__ = (
+        "node_ids", "labels", "values", "parent", "first_child",
+        "next_sibling", "pos_of", "_label_pool", "_value_pool", "_last_child",
+    )
+
+    def __init__(self) -> None:
+        self.node_ids: List[Any] = []
+        self.labels = array("i")
+        self.values = array("i")
+        self.parent = array("i")
+        self.first_child = array("i")
+        self.next_sibling = array("i")
+        self.pos_of: Dict[Any, int] = {}
+        self._label_pool = Interner()
+        self._value_pool = Interner()
+        self._last_child = array("i")
+
+    def add(self, parent_pos: int, node_id: Any, label: str, value: Any) -> int:
+        """Append one node; return its preorder position."""
+        if node_id in self.pos_of:
+            raise DuplicateNodeError(node_id)
+        pos = len(self.node_ids)
+        if parent_pos < 0:
+            if pos != 0:
+                raise TreeError("arena root must be the first node added")
+            parent_pos = -1
+        elif not 0 <= parent_pos < pos:
+            raise TreeError(
+                f"parent position {parent_pos} out of preorder range"
+            )
+        self.node_ids.append(node_id)
+        self.pos_of[node_id] = pos
+        self.labels.append(self._label_pool.intern(label))
+        self.values.append(self._value_pool.intern(value))
+        self.parent.append(parent_pos)
+        self.first_child.append(-1)
+        self.next_sibling.append(-1)
+        self._last_child.append(-1)
+        if parent_pos >= 0:
+            last = self._last_child[parent_pos]
+            if last < 0:
+                self.first_child[parent_pos] = pos
+            else:
+                self.next_sibling[last] = pos
+            self._last_child[parent_pos] = pos
+        return pos
+
+    def finish(self) -> "TreeArena":
+        """Seal the builder into an immutable arena (computes sizes)."""
+        n = len(self.node_ids)
+        parent = self.parent
+        if n:
+            subtree_size = array("i", [1]) * n
+            for pos in range(n - 1, 0, -1):
+                subtree_size[parent[pos]] += subtree_size[pos]
+        else:
+            subtree_size = array("i")
+        return TreeArena(
+            node_ids=self.node_ids,
+            labels=self.labels,
+            values=self.values,
+            parent=parent,
+            first_child=self.first_child,
+            next_sibling=self.next_sibling,
+            subtree_size=subtree_size,
+            label_pool=self._label_pool.pool,
+            value_pool=self._value_pool.pool,
+            pos_of=self.pos_of,
+        )
+
+
+class TreeArena:
+    """Immutable struct-of-arrays snapshot of one ordered tree.
+
+    Instances come from :class:`ArenaBuilder`, :func:`flatten_root`, or
+    :meth:`ArenaOverlay.flatten`; consumers (TreeIndex, digests,
+    serialization, the matchers) read the arrays directly.
+    """
+
+    __slots__ = (
+        "n", "node_ids", "labels", "values", "parent", "first_child",
+        "next_sibling", "subtree_size", "label_pool", "value_pool",
+        "pos_of", "_leaf_count",
+    )
+
+    def __init__(
+        self,
+        node_ids: List[Any],
+        labels: "array",
+        values: "array",
+        parent: "array",
+        first_child: "array",
+        next_sibling: "array",
+        subtree_size: "array",
+        label_pool: List[str],
+        value_pool: List[Any],
+        pos_of: Dict[Any, int],
+    ) -> None:
+        self.n = len(node_ids)
+        self.node_ids = node_ids
+        self.labels = labels
+        self.values = values
+        self.parent = parent
+        self.first_child = first_child
+        self.next_sibling = next_sibling
+        self.subtree_size = subtree_size
+        self.label_pool = label_pool
+        self.value_pool = value_pool
+        self.pos_of = pos_of
+        self._leaf_count: Optional["array"] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "TreeArena":
+        return ArenaBuilder().finish()
+
+    @classmethod
+    def from_root(cls, root: Any) -> "TreeArena":
+        """Flatten a :class:`Node` subtree (or any duck-typed node graph)."""
+        arena, _ = flatten_root(root)
+        return arena
+
+    @classmethod
+    def from_tree(cls, tree: Any) -> "TreeArena":
+        """Flatten a :class:`Tree`, bypassing any cached snapshot."""
+        arena, _ = flatten_root(tree.root)
+        return arena
+
+    def to_tree(self) -> Any:
+        """Materialize a :class:`~repro.core.tree.Tree` view over this arena."""
+        from .tree import Tree  # local import: tree.py imports this module
+
+        return Tree.from_arena(self)
+
+    # ------------------------------------------------------------------
+    # Per-position accessors
+    # ------------------------------------------------------------------
+    def label_of(self, pos: int) -> str:
+        return self.label_pool[self.labels[pos]]
+
+    def value_of(self, pos: int) -> Any:
+        return self.value_pool[self.values[pos]]
+
+    def id_of(self, pos: int) -> Any:
+        return self.node_ids[pos]
+
+    def is_leaf(self, pos: int) -> bool:
+        return self.first_child[pos] < 0
+
+    def children_of(self, pos: int) -> List[int]:
+        """Positions of *pos*'s children, left to right."""
+        out: List[int] = []
+        child = self.first_child[pos]
+        next_sibling = self.next_sibling
+        while child >= 0:
+            out.append(child)
+            child = next_sibling[child]
+        return out
+
+    def is_under(self, pos: int, ancestor_pos: int) -> bool:
+        """True when *pos* lies inside the subtree rooted at *ancestor_pos*.
+
+        A node counts as under itself, matching ``TreeIndex.is_under``.
+        """
+        return (
+            ancestor_pos <= pos
+            < ancestor_pos + self.subtree_size[ancestor_pos]
+        )
+
+    # ------------------------------------------------------------------
+    # Derived arrays
+    # ------------------------------------------------------------------
+    @property
+    def leaf_count(self) -> "array":
+        """Per-position leaf counts (the paper's ``|x|``), computed lazily.
+
+        One reverse-preorder pass: leaves contribute 1, every other
+        position accumulates its children (children always follow their
+        parent in preorder, so walking positions high-to-low sees each
+        child before its parent is read).
+        """
+        counts = self._leaf_count
+        if counts is None:
+            n = self.n
+            first_child = self.first_child
+            parent = self.parent
+            counts = array("i", [0]) * n if n else array("i")
+            for pos in range(n - 1, 0, -1):
+                if first_child[pos] < 0:
+                    counts[pos] += 1
+                counts[parent[pos]] += counts[pos]
+            if n and first_child[0] < 0:
+                counts[0] += 1
+            self._leaf_count = counts
+        return counts
+
+    def leaf_positions(self) -> Iterator[int]:
+        """Preorder positions of all leaves, in document order."""
+        first_child = self.first_child
+        return (pos for pos in range(self.n) if first_child[pos] < 0)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TreeArena(n={self.n}, labels={len(self.label_pool)}, "
+            f"values={len(self.value_pool)})"
+        )
+
+
+def flatten_root(root: Any) -> Tuple[TreeArena, List[Any]]:
+    """Flatten a node graph into an arena.
+
+    Returns ``(arena, order)`` where ``order`` is the preorder list of the
+    source nodes, aligned with arena positions — callers that keep the node
+    objects alive (the lazy :class:`Tree` view) use it to map positions back
+    to nodes without a second traversal.
+    """
+    builder = ArenaBuilder()
+    order: List[Any] = []
+    if root is None:
+        return builder.finish(), order
+    stack: List[Tuple[Any, int]] = [(root, -1)]
+    while stack:
+        node, parent_pos = stack.pop()
+        pos = builder.add(parent_pos, node.id, node.label, node.value)
+        order.append(node)
+        children = node.children
+        for child in reversed(children):
+            stack.append((child, pos))
+    return builder.finish(), order
+
+
+def arenas_isomorphic(a: TreeArena, b: TreeArena) -> bool:
+    """Structural equality of two arenas (ids ignored), array-at-a-time.
+
+    Two arenas flattened from isomorphic trees have identical ``parent``
+    arrays (preorder position is a structural invariant), so shape checks
+    are single array comparisons; only labels and values need per-position
+    pool lookups.
+    """
+    if a.n != b.n:
+        return False
+    if a.n == 0:
+        return True
+    if a.parent != b.parent or a.first_child != b.first_child:
+        return False
+    a_labels, b_labels = a.labels, b.labels
+    a_label_pool, b_label_pool = a.label_pool, b.label_pool
+    label_memo: Dict[int, int] = {}
+    a_values, b_values = a.values, b.values
+    a_value_pool, b_value_pool = a.value_pool, b.value_pool
+    for pos in range(a.n):
+        la, lb = a_labels[pos], b_labels[pos]
+        known = label_memo.get(la)
+        if known is None:
+            if a_label_pool[la] != b_label_pool[lb]:
+                return False
+            label_memo[la] = lb
+        elif known != lb and a_label_pool[la] != b_label_pool[lb]:
+            return False
+        va = a_value_pool[a_values[pos]]
+        vb = b_value_pool[b_values[pos]]
+        if va is not vb and va != vb:
+            return False
+    return True
+
+
+class ArenaOverlay:
+    """Copy-on-write edit layer over an immutable :class:`TreeArena`.
+
+    The overlay implements the paper's four edit primitives with the same
+    validation and error surface as :class:`~repro.core.tree.Tree` — a
+    script that replays cleanly on a ``Tree`` replays cleanly here and vice
+    versa — but never mutates the base arena. Internally nodes are tracked
+    by *ref*: base preorder positions (``>= 0``) for surviving base nodes,
+    negative integers for nodes inserted through the overlay. Only the
+    child lists of touched parents are copied.
+
+    :meth:`flatten` seals the edited shape into a fresh arena. Label and
+    value pools of the base are re-interned, so pools stay deduplicated.
+    """
+
+    __slots__ = (
+        "base", "root_ref", "_children", "_parent", "_values", "_new",
+        "_deleted", "_ref_by_id", "_n_new",
+    )
+
+    def __init__(self, base: TreeArena) -> None:
+        self.base = base
+        self.root_ref: Optional[int] = 0 if base.n else None
+        #: ref -> copied child-ref list (only parents touched by an edit)
+        self._children: Dict[int, List[int]] = {}
+        #: ref -> parent ref override (None marks a detached/root ref)
+        self._parent: Dict[int, Optional[int]] = {}
+        #: ref -> updated value
+        self._values: Dict[int, Any] = {}
+        #: new ref -> (node_id, label, value)
+        self._new: Dict[int, Tuple[Any, str, Any]] = {}
+        #: deleted base positions
+        self._deleted: set = set()
+        #: ids of overlay-inserted nodes -> their (negative) ref
+        self._ref_by_id: Dict[Any, int] = {}
+        self._n_new = 0
+
+    # ------------------------------------------------------------------
+    # Ref resolution and per-ref accessors
+    # ------------------------------------------------------------------
+    def _resolve(self, node_id: Any) -> int:
+        ref = self._ref_by_id.get(node_id)
+        if ref is not None:
+            return ref
+        pos = self.base.pos_of.get(node_id)
+        if pos is None or pos in self._deleted:
+            raise UnknownNodeError(node_id)
+        return pos
+
+    def _known(self, node_id: Any) -> bool:
+        if node_id in self._ref_by_id:
+            return True
+        pos = self.base.pos_of.get(node_id)
+        return pos is not None and pos not in self._deleted
+
+    def id_of(self, ref: int) -> Any:
+        return self._new[ref][0] if ref < 0 else self.base.node_ids[ref]
+
+    def label_of(self, ref: int) -> str:
+        return self._new[ref][1] if ref < 0 else self.base.label_of(ref)
+
+    def value_of(self, ref: int) -> Any:
+        if ref in self._values:
+            return self._values[ref]
+        return self._new[ref][2] if ref < 0 else self.base.value_of(ref)
+
+    def children_of(self, ref: int) -> List[int]:
+        """Current child refs of *ref* (a fresh list when derived from base)."""
+        children = self._children.get(ref)
+        if children is not None:
+            return children
+        return [] if ref < 0 else self.base.children_of(ref)
+
+    def parent_of(self, ref: int) -> Optional[int]:
+        if ref in self._parent:
+            return self._parent[ref]
+        if ref < 0:  # new refs always carry an explicit parent entry
+            raise UnknownNodeError(self.id_of(ref))
+        pos = self.base.parent[ref]
+        return pos if pos >= 0 else None
+
+    def _cow_children(self, ref: int) -> List[int]:
+        children = self._children.get(ref)
+        if children is None:
+            children = [] if ref < 0 else self.base.children_of(ref)
+            self._children[ref] = children
+        return children
+
+    def _is_inside(self, ref: int, ancestor_ref: int) -> bool:
+        """True when *ref* is *ancestor_ref* or lies under it (overlay view)."""
+        node: Optional[int] = ref
+        while node is not None:
+            if node == ancestor_ref:
+                return True
+            node = self.parent_of(node)
+        return False
+
+    # ------------------------------------------------------------------
+    # The four edit primitives (Tree-compatible semantics and errors)
+    # ------------------------------------------------------------------
+    def insert(
+        self, node_id: Any, label: str, value: Any, parent_id: Any, position: int
+    ) -> int:
+        """``INS((node_id, label, value), parent_id, position)``."""
+        if self._known(node_id):
+            raise DuplicateNodeError(node_id)
+        parent_ref = self._resolve(parent_id)
+        self._n_new += 1
+        ref = -self._n_new
+        self._new[ref] = (node_id, label, value)
+        self._ref_by_id[node_id] = ref
+        self._attach(ref, parent_ref, position)
+        return ref
+
+    def delete(self, node_id: Any) -> int:
+        """``DEL(node_id)``: remove a leaf."""
+        ref = self._resolve(node_id)
+        if self.children_of(ref):
+            raise NotALeafError(node_id)
+        parent_ref = self.parent_of(ref)
+        if parent_ref is None:
+            raise RootOperationError("delete", node_id)
+        self._cow_children(parent_ref).remove(ref)
+        self._parent.pop(ref, None)
+        self._values.pop(ref, None)
+        self._children.pop(ref, None)
+        if ref < 0:
+            del self._new[ref]
+            del self._ref_by_id[node_id]
+        else:
+            self._deleted.add(ref)
+        return ref
+
+    def update(self, node_id: Any, value: Any) -> int:
+        """``UPD(node_id, value)``."""
+        ref = self._resolve(node_id)
+        self._values[ref] = value
+        return ref
+
+    def move(self, node_id: Any, parent_id: Any, position: int) -> int:
+        """``MOV(node_id, parent_id, position)``.
+
+        As in :meth:`Tree.move`, position bounds are checked against the
+        target's child list *after* detaching the node.
+        """
+        ref = self._resolve(node_id)
+        target_ref = self._resolve(parent_id)
+        old_parent = self.parent_of(ref)
+        if old_parent is None:
+            raise RootOperationError("move", node_id)
+        if self._is_inside(target_ref, ref):
+            raise CyclicMoveError(node_id, parent_id)
+        self._cow_children(old_parent).remove(ref)
+        self._parent[ref] = None
+        self._attach(ref, target_ref, position)
+        return ref
+
+    def _attach(self, ref: int, parent_ref: int, position: int) -> None:
+        children = self._cow_children(parent_ref)
+        limit = len(children) + 1
+        if not 1 <= position <= limit:
+            raise InvalidPositionError(position, limit)
+        children.insert(position - 1, ref)
+        self._parent[ref] = parent_ref
+
+    # ------------------------------------------------------------------
+    # Dummy-root support (edit-script generator wrap/strip)
+    # ------------------------------------------------------------------
+    def wrap_root(self, dummy_id: Any, label: str) -> int:
+        """Push a synthetic root above the current root; return its ref."""
+        if self.root_ref is None:
+            raise TreeError("cannot wrap an empty overlay")
+        if self._known(dummy_id):
+            raise DuplicateNodeError(dummy_id)
+        self._n_new += 1
+        ref = -self._n_new
+        self._new[ref] = (dummy_id, label, None)
+        self._ref_by_id[dummy_id] = ref
+        self._children[ref] = [self.root_ref]
+        self._parent[self.root_ref] = ref
+        self._parent[ref] = None
+        self.root_ref = ref
+        return ref
+
+    def strip_root(self) -> None:
+        """Remove a synthetic root, promoting its sole child."""
+        ref = self.root_ref
+        if ref is None:
+            raise TreeError("cannot strip the root of an empty overlay")
+        children = self.children_of(ref)
+        if len(children) != 1:
+            raise TreeError(
+                f"cannot strip root with {len(children)} children"
+            )
+        child = children[0]
+        self._parent[child] = None
+        self._parent.pop(ref, None)
+        self._values.pop(ref, None)
+        self._children.pop(ref, None)
+        if ref < 0:
+            node_id = self._new.pop(ref)[0]
+            del self._ref_by_id[node_id]
+        else:
+            self._deleted.add(ref)
+        self.root_ref = child
+
+    # ------------------------------------------------------------------
+    # Sealing
+    # ------------------------------------------------------------------
+    def flatten(self) -> TreeArena:
+        """Re-flatten the edited shape into a fresh immutable arena."""
+        builder = ArenaBuilder()
+        if self.root_ref is None:
+            return builder.finish()
+        stack: List[Tuple[int, int]] = [(self.root_ref, -1)]
+        while stack:
+            ref, parent_pos = stack.pop()
+            pos = builder.add(
+                parent_pos, self.id_of(ref), self.label_of(ref),
+                self.value_of(ref),
+            )
+            for child in reversed(self.children_of(ref)):
+                stack.append((child, pos))
+        return builder.finish()

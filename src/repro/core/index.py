@@ -7,18 +7,25 @@ ranks — and the original wiring recomputed them ad hoc on every comparison
 (``node.leaves()`` walks for Criterion 2, parent-chain ascents for
 containment, ``children.index`` scans for FindPos).
 
-:class:`TreeIndex` materializes all of them in two linear passes:
+:class:`TreeIndex` reads them off the tree's struct-of-arrays
+:class:`~repro.core.arena.TreeArena` snapshot:
 
-* ``leaf_count[x]`` — ``|x|``, the Criterion-2 denominator;
-* preorder ranks + subtree sizes — an interval labeling that turns
-  "is *n* under *a*?" into one integer comparison;
-* a flat document-order leaf list with per-node spans — contained-leaf
-  iteration without re-walking the subtree;
+* preorder position doubles as preorder rank, and ``subtree_size`` turns
+  "is *n* under *a*?" into one interval comparison;
+* ``leaf_count[x]`` — ``|x|``, the Criterion-2 denominator — comes straight
+  from the arena's lazy leaf-count array;
+* a flat document-order leaf-position array with per-node span starts gives
+  contained-leaf iteration without re-walking the subtree;
 * ``chain_T(l)`` label chains and first-seen leaf/internal label lists —
   exactly what FastMatch's step 1 builds per run;
 * 1-based child ranks — FindPos locates a node among its siblings in O(1);
 * subtree Merkle digests, computed lazily by reusing
   :mod:`repro.service.digest`.
+
+Node-facing accessors (:meth:`leaves_of`, :meth:`chains`, ...) bind arena
+positions to :class:`Node` objects lazily, so building an index over a
+freshly parsed (arena-only) tree allocates no nodes; purely positional
+consumers never force them.
 
 An index is a snapshot: it describes the tree *as it was at construction*.
 Mutating the tree afterwards silently invalidates it, so mutation-path code
@@ -29,6 +36,7 @@ created after the snapshot.
 
 from __future__ import annotations
 
+from array import array
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from .node import Node
@@ -39,7 +47,261 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class TreeIndex:
-    """Immutable structural facts about one tree, built in linear time."""
+    """Immutable structural facts about one tree, read from its arena."""
+
+    __slots__ = (
+        "tree",
+        "arena",
+        "_leaf_positions",
+        "_leaf_start",
+        "_child_ranks",
+        "_chain_pos",
+        "_leaf_label_list",
+        "_internal_label_list",
+        "_order",
+        "_node_map",
+        "_node_chains",
+        "_digests",
+    )
+
+    def __init__(self, tree: Tree) -> None:
+        self.tree = tree
+        arena = tree.to_arena()
+        self.arena = arena
+        n = arena.n
+        first_child = arena.first_child
+        next_sibling = arena.next_sibling
+        labels = arena.labels
+        label_pool = arena.label_pool
+
+        leaf_positions = array("i")
+        leaf_start = array("i", [0]) * n if n else array("i")
+        child_ranks = array("i", [0]) * n if n else array("i")
+        chain_pos: Dict[str, List[int]] = {}
+        seen_leaf_labels: Dict[str, None] = {}
+        seen_internal_labels: Dict[str, None] = {}
+        for pos in range(n):
+            leaf_start[pos] = len(leaf_positions)
+            label = label_pool[labels[pos]]
+            chain = chain_pos.get(label)
+            if chain is None:
+                chain_pos[label] = [pos]
+            else:
+                chain.append(pos)
+            child = first_child[pos]
+            if child < 0:
+                leaf_positions.append(pos)
+                seen_leaf_labels.setdefault(label, None)
+            else:
+                seen_internal_labels.setdefault(label, None)
+                rank = 0
+                while child >= 0:
+                    rank += 1
+                    child_ranks[child] = rank
+                    child = next_sibling[child]
+
+        self._leaf_positions = leaf_positions
+        self._leaf_start = leaf_start
+        self._child_ranks = child_ranks
+        self._chain_pos = chain_pos
+        self._leaf_label_list = list(seen_leaf_labels)
+        self._internal_label_list = list(seen_internal_labels)
+        self._order: Optional[List[Node]] = None
+        self._node_map: Optional[Dict[Any, Node]] = None
+        self._node_chains: Optional[Dict[str, List[Node]]] = None
+        self._digests: Optional["DigestIndex"] = None
+
+    # ------------------------------------------------------------------
+    # Lazy node binding
+    # ------------------------------------------------------------------
+    def _nodes_in_order(self) -> List[Node]:
+        """Node objects aligned with arena positions (bound on first use)."""
+        order = self._order
+        if order is None:
+            order = self.tree._order_for(self.arena)
+            self._order = order
+        return order
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.arena.n
+
+    def __contains__(self, node_id: Any) -> bool:
+        return node_id in self.arena.pos_of
+
+    def owns(self, node: Node) -> bool:
+        """True when *node* is the very object this index was built over.
+
+        Identifier spaces of two trees commonly overlap (both number nodes
+        1..n), and nodes created after the snapshot may reuse ids, so the
+        check is by object identity, not by id.
+        """
+        pos = self.arena.pos_of.get(node.id)
+        if pos is None:
+            return False
+        return self._nodes_in_order()[pos] is node
+
+    # ------------------------------------------------------------------
+    # Structural facts (pure array arithmetic)
+    # ------------------------------------------------------------------
+    def rank(self, node_id: Any) -> int:
+        """0-based preorder rank of the node (its arena position)."""
+        return self.arena.pos_of[node_id]
+
+    def subtree_size(self, node_id: Any) -> int:
+        """Number of nodes (including itself) in the node's subtree."""
+        arena = self.arena
+        return arena.subtree_size[arena.pos_of[node_id]]
+
+    def leaf_count(self, node_id: Any) -> int:
+        """``|x|``: number of leaves contained in the node's subtree."""
+        arena = self.arena
+        return arena.leaf_count[arena.pos_of[node_id]]
+
+    def is_under(self, node_id: Any, ancestor_id: Any) -> bool:
+        """True when *ancestor_id* is a proper ancestor of *node_id*.
+
+        One interval comparison instead of a parent-chain ascent: a node
+        lies strictly inside an ancestor's preorder interval.
+        """
+        arena = self.arena
+        pos_of = arena.pos_of
+        a = pos_of[ancestor_id]
+        n = pos_of[node_id]
+        return a < n < a + arena.subtree_size[a]
+
+    def leaves_of(self, node_id: Any) -> Sequence[Node]:
+        """The leaves contained in the node's subtree, document order."""
+        arena = self.arena
+        pos = arena.pos_of[node_id]
+        start = self._leaf_start[pos]
+        stop = start + arena.leaf_count[pos]
+        order = self._nodes_in_order()
+        return [order[p] for p in self._leaf_positions[start:stop]]
+
+    def leaf_span(self, node_id: Any) -> Tuple[int, int]:
+        """``[start, stop)`` of the node's leaves in the flat leaf array."""
+        arena = self.arena
+        pos = arena.pos_of[node_id]
+        start = self._leaf_start[pos]
+        return start, start + arena.leaf_count[pos]
+
+    def leaf_position_array(self) -> "array":
+        """Arena positions of all leaves, document order (read-only)."""
+        return self._leaf_positions
+
+    def child_rank(self, node_id: Any) -> int:
+        """1-based position among siblings (the paper's child index)."""
+        rank = self._child_ranks[self.arena.pos_of[node_id]]
+        if rank == 0:  # the root has no sibling position
+            raise KeyError(node_id)
+        return rank
+
+    # ------------------------------------------------------------------
+    # Label chains (FastMatch step 1)
+    # ------------------------------------------------------------------
+    def chain(self, label: str) -> Sequence[Node]:
+        """``chain_T(l)``: nodes with the label, left-to-right."""
+        return self.chains().get(label, ())
+
+    def chains(self) -> Dict[str, List[Node]]:
+        """All label chains (shared structure; treat as read-only)."""
+        node_chains = self._node_chains
+        if node_chains is None:
+            order = self._nodes_in_order()
+            node_chains = {
+                label: [order[pos] for pos in positions]
+                for label, positions in self._chain_pos.items()
+            }
+            self._node_chains = node_chains
+        return node_chains
+
+    def leaf_chain(self, label: str) -> List[Node]:
+        """Leaf nodes with the label, left-to-right (may be empty)."""
+        positions = self._chain_pos.get(label)
+        if not positions:
+            return []
+        first_child = self.arena.first_child
+        order = self._nodes_in_order()
+        return [order[pos] for pos in positions if first_child[pos] < 0]
+
+    def internal_chain(self, label: str) -> List[Node]:
+        """Interior nodes with the label, left-to-right (may be empty)."""
+        positions = self._chain_pos.get(label)
+        if not positions:
+            return []
+        first_child = self.arena.first_child
+        order = self._nodes_in_order()
+        return [order[pos] for pos in positions if first_child[pos] >= 0]
+
+    def node_table(self) -> Dict[Any, Node]:
+        """The id → node mapping (shared structure; treat as read-only).
+
+        Hot loops bind ``node_table().get`` once and combine the lookup
+        with an identity check instead of calling :meth:`owns` per node.
+        """
+        node_map = self._node_map
+        if node_map is None:
+            node_map = dict(zip(self.arena.node_ids, self._nodes_in_order()))
+            self._node_map = node_map
+        return node_map
+
+    def child_rank_table(self) -> Dict[Any, int]:
+        """The id → 1-based sibling rank mapping (root omitted)."""
+        child_ranks = self._child_ranks
+        return {
+            node_id: child_ranks[pos]
+            for pos, node_id in enumerate(self.arena.node_ids)
+            if child_ranks[pos]
+        }
+
+    def leaf_labels(self) -> List[str]:
+        """Labels on at least one leaf, in first-seen document order."""
+        return list(self._leaf_label_list)
+
+    def internal_labels(self) -> List[str]:
+        """Labels on at least one interior node, first-seen order."""
+        return list(self._internal_label_list)
+
+    # ------------------------------------------------------------------
+    # Subtree digests (lazy; reuses the service layer's Merkle pass)
+    # ------------------------------------------------------------------
+    @property
+    def digests(self) -> "DigestIndex":
+        """Per-subtree Merkle digests (see :mod:`repro.service.digest`).
+
+        Computed on first access and memoized; reuses an index already
+        attached to the tree by the serving layer when present.
+        """
+        if self._digests is None:
+            from ..service.digest import cached_digests
+
+            self._digests = cached_digests(self.tree)
+        return self._digests
+
+    def subtrees_equal(
+        self, node_id: Any, other: "TreeIndex", other_id: Any
+    ) -> bool:
+        """O(1) isomorphism fast path between two indexed subtrees."""
+        return self.digests.get(node_id) == other.digests.get(other_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TreeIndex(nodes={self.arena.n}, "
+            f"leaves={len(self._leaf_positions)})"
+        )
+
+
+class LegacyTreeIndex:
+    """The pre-arena object-walking index, kept as a parity oracle.
+
+    Builds every table by traversing :class:`Node` objects, exactly as
+    before the arena refactor. The fuzz harness cross-checks
+    :class:`TreeIndex` against it each iteration, and the arena benchmark
+    uses it as the object-core baseline.
+    """
 
     __slots__ = (
         "tree",
@@ -105,9 +367,6 @@ class TreeIndex:
         self._leaf_labels = list(seen_leaf_labels)
         self._internal_labels = list(seen_internal_labels)
 
-    # ------------------------------------------------------------------
-    # Membership
-    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._nodes)
 
@@ -115,89 +374,49 @@ class TreeIndex:
         return node_id in self._nodes
 
     def owns(self, node: Node) -> bool:
-        """True when *node* is the very object this index was built over.
-
-        Identifier spaces of two trees commonly overlap (both number nodes
-        1..n), and nodes created after the snapshot may reuse ids, so the
-        check is by object identity, not by id.
-        """
         return self._nodes.get(node.id) is node
 
-    # ------------------------------------------------------------------
-    # Structural facts
-    # ------------------------------------------------------------------
     def rank(self, node_id: Any) -> int:
-        """0-based preorder rank of the node."""
         return self._pre_rank[node_id]
 
     def subtree_size(self, node_id: Any) -> int:
-        """Number of nodes (including itself) in the node's subtree."""
         return self._size[node_id]
 
     def leaf_count(self, node_id: Any) -> int:
-        """``|x|``: number of leaves contained in the node's subtree."""
         return self._leaf_count[node_id]
 
     def is_under(self, node_id: Any, ancestor_id: Any) -> bool:
-        """True when *ancestor_id* is a proper ancestor of *node_id*.
-
-        One interval comparison instead of a parent-chain ascent: a node
-        lies strictly inside an ancestor's preorder interval.
-        """
         a = self._pre_rank[ancestor_id]
         n = self._pre_rank[node_id]
         return a < n < a + self._size[ancestor_id]
 
     def leaves_of(self, node_id: Any) -> Sequence[Node]:
-        """The leaves contained in the node's subtree, document order."""
         start, stop = self._leaf_span[node_id]
         return self._leaves[start:stop]
 
     def child_rank(self, node_id: Any) -> int:
-        """1-based position among siblings (the paper's child index)."""
         return self._child_rank[node_id]
 
-    # ------------------------------------------------------------------
-    # Label chains (FastMatch step 1)
-    # ------------------------------------------------------------------
     def chain(self, label: str) -> Sequence[Node]:
-        """``chain_T(l)``: nodes with the label, left-to-right."""
         return self._chains.get(label, ())
 
     def chains(self) -> Dict[str, List[Node]]:
-        """All label chains (shared structure; treat as read-only)."""
         return self._chains
 
     def node_table(self) -> Dict[Any, Node]:
-        """The id → node mapping (shared structure; treat as read-only).
-
-        Hot loops bind ``node_table().get`` once and combine the lookup
-        with an identity check instead of calling :meth:`owns` per node.
-        """
         return self._nodes
 
     def child_rank_table(self) -> Dict[Any, int]:
-        """The id → 1-based sibling rank mapping (treat as read-only)."""
         return self._child_rank
 
     def leaf_labels(self) -> List[str]:
-        """Labels on at least one leaf, in first-seen document order."""
         return list(self._leaf_labels)
 
     def internal_labels(self) -> List[str]:
-        """Labels on at least one interior node, first-seen order."""
         return list(self._internal_labels)
 
-    # ------------------------------------------------------------------
-    # Subtree digests (lazy; reuses the service layer's Merkle pass)
-    # ------------------------------------------------------------------
     @property
     def digests(self) -> "DigestIndex":
-        """Per-subtree Merkle digests (see :mod:`repro.service.digest`).
-
-        Computed on first access and memoized; reuses an index already
-        attached to the tree by the serving layer when present.
-        """
         if self._digests is None:
             from ..service.digest import cached_digests
 
@@ -205,13 +424,15 @@ class TreeIndex:
         return self._digests
 
     def subtrees_equal(
-        self, node_id: Any, other: "TreeIndex", other_id: Any
+        self, node_id: Any, other: "LegacyTreeIndex", other_id: Any
     ) -> bool:
-        """O(1) isomorphism fast path between two indexed subtrees."""
         return self.digests.get(node_id) == other.digests.get(other_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"TreeIndex(nodes={len(self._nodes)}, leaves={len(self._leaves)})"
+        return (
+            f"LegacyTreeIndex(nodes={len(self._nodes)}, "
+            f"leaves={len(self._leaves)})"
+        )
 
 
 def build_index(tree: Tree) -> TreeIndex:

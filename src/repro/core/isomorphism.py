@@ -10,12 +10,20 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from .arena import arenas_isomorphic
 from .node import Node
 from .tree import Tree
 
 
 def trees_isomorphic(t1: Tree, t2: Tree) -> bool:
     """True when the two trees are identical up to node identifiers."""
+    # Arena fast path: when both trees carry fresh snapshots (the parse,
+    # copy and checkout paths), compare arrays without materializing nodes.
+    arena1 = t1.arena_snapshot()
+    if arena1 is not None:
+        arena2 = t2.arena_snapshot()
+        if arena2 is not None:
+            return arenas_isomorphic(arena1, arena2)
     if t1.root is None or t2.root is None:
         return t1.root is None and t2.root is None
     return _subtrees_equal(t1.root, t2.root)

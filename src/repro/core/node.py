@@ -34,7 +34,7 @@ class Node:
         mutation goes through the owning tree.
     """
 
-    __slots__ = ("id", "label", "value", "parent", "children")
+    __slots__ = ("id", "label", "value", "parent", "children", "_slot")
 
     def __init__(self, node_id: Any, label: str, value: Any = None) -> None:
         self.id = node_id
@@ -42,6 +42,11 @@ class Node:
         self.value = value
         self.parent: Optional[Node] = None
         self.children: List[Node] = []
+        #: 0-based hint of this node's position in ``parent.children``,
+        #: maintained by the owning tree's attach/detach paths. May go
+        #: stale when earlier siblings are removed; consumers validate it
+        #: (``parent.children[_slot] is node``) before trusting it.
+        self._slot = -1
 
     # ------------------------------------------------------------------
     # Structure queries
@@ -64,7 +69,13 @@ class Node:
         """
         if self.parent is None:
             raise ValueError(f"root node {self.id!r} has no sibling position")
-        return self.parent.children.index(self) + 1
+        siblings = self.parent.children
+        slot = self._slot
+        if 0 <= slot < len(siblings) and siblings[slot] is self:
+            return slot + 1
+        slot = siblings.index(self)
+        self._slot = slot  # repair the hint for the next lookup
+        return slot + 1
 
     def depth(self) -> int:
         """Number of edges from the root to this node (root has depth 0)."""

@@ -7,13 +7,21 @@ Two interchange formats are supported:
   scenario) and reloading them losslessly.
 * **s-expression format** — a compact human-writable text form used in tests
   and example fixtures: ``(D (P (S "a") (S "b")))``.
+
+Both parsers build a :class:`~repro.core.arena.TreeArena` directly — no
+intermediate :class:`Node` graph — and return a lazy :class:`Tree` view
+over it. A parsed tree that is only indexed, digested, or re-serialized
+never allocates node objects at all. The dumpers likewise read a fresh
+arena snapshot when one is cached.
 """
 
 from __future__ import annotations
 
+import itertools
 import re
 from typing import Any, Dict, List, Optional
 
+from .arena import ArenaBuilder, TreeArena
 from .errors import ParseError
 from .node import Node
 from .tree import Tree
@@ -24,6 +32,9 @@ from .tree import Tree
 # ---------------------------------------------------------------------------
 def tree_to_dict(tree: Tree) -> Optional[Dict[str, Any]]:
     """Serialize a tree to nested dicts, preserving node identifiers."""
+    arena = tree.arena_snapshot()
+    if arena is not None:
+        return arena_to_dict(arena)
     if tree.root is None:
         return None
 
@@ -40,6 +51,57 @@ def tree_to_dict(tree: Tree) -> Optional[Dict[str, Any]]:
 
 def tree_from_dict(data: Optional[Dict[str, Any]]) -> Tree:
     """Inverse of :func:`tree_to_dict`."""
+    return Tree.from_arena(arena_from_dict(data))
+
+
+def arena_to_dict(arena: TreeArena) -> Optional[Dict[str, Any]]:
+    """Serialize an arena to nested dicts, preserving node identifiers."""
+    if arena.n == 0:
+        return None
+
+    def dump(pos: int) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "id": arena.node_ids[pos],
+            "label": arena.label_of(pos),
+        }
+        value = arena.value_of(pos)
+        if value is not None:
+            out["value"] = value
+        children = arena.children_of(pos)
+        if children:
+            out["children"] = [dump(child) for child in children]
+        return out
+
+    return dump(0)
+
+
+def arena_from_dict(data: Optional[Dict[str, Any]]) -> TreeArena:
+    """Parse the dict format straight into an arena (no node objects).
+
+    Explicit identifiers are preserved; missing ones are assigned from a
+    counter starting at 1, skipping identifiers already taken — the same
+    rule :meth:`Tree.create_node` applies on the object path.
+    """
+    builder = ArenaBuilder()
+    if data is None:
+        return builder.finish()
+    counter = itertools.count(1)
+    stack: List[Any] = [(data, -1)]
+    while stack:
+        spec, parent_pos = stack.pop()
+        node_id = spec.get("id")
+        if node_id is None:
+            node_id = next(counter)
+            while node_id in builder.pos_of:
+                node_id = next(counter)
+        pos = builder.add(parent_pos, node_id, spec["label"], spec.get("value"))
+        for child in reversed(spec.get("children", ())):
+            stack.append((child, pos))
+    return builder.finish()
+
+
+def _tree_from_dict_objects(data: Optional[Dict[str, Any]]) -> Tree:
+    """The pre-arena object-path parser, kept as a benchmark baseline."""
     tree = Tree()
     if data is None:
         return tree
@@ -76,6 +138,9 @@ _TOKEN = re.compile(
 
 def tree_to_sexpr(tree: Tree) -> str:
     """Render a tree as an s-expression (identifiers are dropped)."""
+    arena = tree.arena_snapshot()
+    if arena is not None:
+        return arena_to_sexpr(arena)
     if tree.root is None:
         return "()"
 
@@ -89,11 +154,35 @@ def tree_to_sexpr(tree: Tree) -> str:
     return dump(tree.root)
 
 
+def arena_to_sexpr(arena: TreeArena) -> str:
+    """Render an arena as an s-expression (identifiers are dropped)."""
+    if arena.n == 0:
+        return "()"
+
+    def dump(pos: int) -> str:
+        parts = [arena.label_of(pos)]
+        value = arena.value_of(pos)
+        if value is not None:
+            parts.append(_quote(str(value)))
+        parts.extend(dump(child) for child in arena.children_of(pos))
+        return "(" + " ".join(parts) + ")"
+
+    return dump(0)
+
+
 def tree_from_sexpr(text: str) -> Tree:
     """Parse an s-expression such as ``(D (P (S "a") (S "b")))``.
 
     The first atom of each list is the node's label; an optional quoted
     string is the value; remaining lists are children.
+    """
+    return Tree.from_arena(arena_from_sexpr(text))
+
+
+def arena_from_sexpr(text: str) -> TreeArena:
+    """Parse the s-expression format straight into an arena.
+
+    Node identifiers are assigned 1..n in preorder, as on the object path.
     """
     tokens = _tokenize(text)
     if not tokens:
@@ -101,11 +190,12 @@ def tree_from_sexpr(text: str) -> Tree:
     expr, rest = _parse_expr(tokens, 0)
     if rest != len(tokens):
         raise ParseError("trailing garbage after s-expression")
-    tree = Tree()
+    builder = ArenaBuilder()
     if expr == []:
-        return tree
+        return builder.finish()
+    counter = itertools.count(1)
 
-    def build(node_expr: Any, parent: Optional[Node]) -> None:
+    def build(node_expr: Any, parent_pos: int) -> None:
         if not isinstance(node_expr, list) or not node_expr:
             raise ParseError(f"expected a (label ...) list, got {node_expr!r}")
         label = node_expr[0]
@@ -116,12 +206,12 @@ def tree_from_sexpr(text: str) -> Tree:
         if rest and isinstance(rest[0], str) and rest[0].startswith('"'):
             value = _unquote(rest[0])
             rest = rest[1:]
-        node = tree.create_node(label, value, parent=parent)
+        pos = builder.add(parent_pos, next(counter), label, value)
         for child in rest:
-            build(child, node)
+            build(child, pos)
 
-    build(expr, None)
-    return tree
+    build(expr, -1)
+    return builder.finish()
 
 
 def _tokenize(text: str) -> List[str]:

@@ -12,6 +12,19 @@ edit model (Section 3.2):
 Positions are 1-based, matching the paper. Structural invariants (leaf-only
 insert/delete, no cyclic moves, position bounds) are enforced eagerly so a
 buggy edit script fails loudly instead of corrupting the tree.
+
+Storage model
+-------------
+Since the arena refactor a tree is a *view* over an immutable
+:class:`~repro.core.arena.TreeArena` snapshot. Trees built from an arena
+(:meth:`Tree.from_arena` — the parse, copy and store-checkout paths) keep
+only the arena until some caller actually needs :class:`Node` objects; pure
+array consumers (``TreeIndex``, digests, serialization dumps) never force
+the node graph into existence. The first node-touching access materializes
+all nodes in one preorder pass. Mutations work on the node graph and
+invalidate the snapshot; :meth:`Tree.to_arena` re-flattens on demand and
+caches the result until the next mutation. This mirrors the existing
+staleness contract of ``tree.index`` / ``tree.digests`` attachments.
 """
 
 from __future__ import annotations
@@ -19,6 +32,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from .arena import TreeArena, flatten_root
 from .errors import (
     CyclicMoveError,
     DuplicateNodeError,
@@ -39,9 +53,103 @@ class Tree:
     """An ordered tree of labeled, valued nodes with unique identifiers."""
 
     def __init__(self) -> None:
-        self.root: Optional[Node] = None
-        self._nodes: Dict[Any, Node] = {}
-        self._id_counter = itertools.count(1)
+        self._root: Optional[Node] = None
+        self._node_map: Optional[Dict[Any, Node]] = {}
+        self._id_counter: Optional[Iterator[int]] = itertools.count(1)
+        #: Cached immutable snapshot; valid only while ``_arena_fresh``.
+        self._arena: Optional[TreeArena] = None
+        self._arena_fresh = False
+        #: Node binding of the last materialize/flatten: ``_arena_order[p]``
+        #: is the Node at preorder position ``p`` of ``_order_arena``. Kept
+        #: across mutations so a stale TreeIndex keeps resolving the node
+        #: objects it was built over (the pre-arena staleness semantics).
+        self._order_arena: Optional[TreeArena] = None
+        self._arena_order: Optional[List[Node]] = None
+        #: Detaches where the sibling-slot hint missed and a full scan ran.
+        self.detach_fallback_scans = 0
+
+    # ------------------------------------------------------------------
+    # Arena view plumbing
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arena(cls, arena: TreeArena) -> "Tree":
+        """Wrap an arena snapshot without building any :class:`Node`.
+
+        The node graph is materialized lazily on first access; callers that
+        only read arrays (indexes, digests, serialization) never pay for it.
+        """
+        tree = cls()
+        tree._node_map = None
+        tree._arena = arena
+        tree._arena_fresh = True
+        tree._id_counter = None  # lazily seeded past the arena's numeric ids
+        return tree
+
+    def to_arena(self) -> TreeArena:
+        """Return a fresh struct-of-arrays snapshot (cached until mutation)."""
+        if self._arena_fresh:
+            assert self._arena is not None
+            return self._arena
+        arena, order = flatten_root(self._root)
+        self._arena = arena
+        self._arena_fresh = True
+        self._order_arena = arena
+        self._arena_order = order
+        return arena
+
+    def arena_snapshot(self) -> Optional[TreeArena]:
+        """The cached fresh arena, or ``None`` — never flattens or builds."""
+        return self._arena if self._arena_fresh else None
+
+    def _touch(self) -> None:
+        """Invalidate the arena snapshot after a mutation."""
+        self._arena = None
+        self._arena_fresh = False
+
+    def _materialize(self) -> None:
+        if self._node_map is not None:
+            return
+        assert self._arena is not None
+        root, node_map, order = _nodes_from_arena(self._arena)
+        self._root = root
+        self._node_map = node_map
+        self._order_arena = self._arena
+        self._arena_order = order
+
+    def _order_for(self, arena: TreeArena) -> List[Node]:
+        """Nodes aligned with *arena* positions (for index node binding).
+
+        Returns this tree's own nodes when *arena* is (or was) its snapshot;
+        otherwise builds a detached node graph from the arena.
+        """
+        if arena is self._order_arena and self._arena_order is not None:
+            return self._arena_order
+        if arena is self._arena:
+            self._materialize()
+            assert self._arena_order is not None
+            return self._arena_order
+        _, _, order = _nodes_from_arena(arena)
+        return order
+
+    @property
+    def root(self) -> Optional[Node]:
+        if self._node_map is None:
+            self._materialize()
+        return self._root
+
+    @root.setter
+    def root(self, node: Optional[Node]) -> None:
+        if self._node_map is None:
+            self._materialize()
+        self._root = node
+        self._touch()
+
+    @property
+    def _nodes(self) -> Dict[Any, Node]:
+        if self._node_map is None:
+            self._materialize()
+        assert self._node_map is not None
+        return self._node_map
 
     # ------------------------------------------------------------------
     # Construction
@@ -109,29 +217,41 @@ class Tree:
                 raise TreeError(
                     "tree already has a root; pass a parent for the new node"
                 )
-            self.root = node
+            self._root = node
         else:
             parent = self._resolve(parent)
             if position is None:
                 position = len(parent.children) + 1
             self._attach(node, parent, position)
         self._nodes[node_id] = node
+        self._touch()
         return node
 
     def _fresh_id(self) -> int:
+        if self._id_counter is None:
+            # Arena-backed trees seed lazily: continue past the largest
+            # numeric id present (same rule the deep copy always used).
+            numeric = [i for i in self.node_ids() if isinstance(i, int)]
+            self._id_counter = itertools.count(max(numeric) + 1 if numeric else 1)
         while True:
             node_id = next(self._id_counter)
-            if node_id not in self._nodes:
+            if node_id not in self:
                 return node_id
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def __contains__(self, node_id: Any) -> bool:
-        return node_id in self._nodes
+        if self._node_map is None:
+            assert self._arena is not None
+            return node_id in self._arena.pos_of
+        return node_id in self._node_map
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        if self._node_map is None:
+            assert self._arena is not None
+            return self._arena.n
+        return len(self._node_map)
 
     def get(self, node_id: Any) -> Node:
         """Return the node with identifier *node_id* or raise."""
@@ -142,7 +262,10 @@ class Tree:
 
     def node_ids(self) -> Iterator[Any]:
         """Yield all node identifiers (unordered)."""
-        return iter(self._nodes)
+        if self._node_map is None:
+            assert self._arena is not None
+            return iter(self._arena.node_ids)
+        return iter(self._node_map)
 
     def _resolve(self, node_or_id: Any) -> Node:
         if isinstance(node_or_id, Node):
@@ -251,6 +374,7 @@ class Tree:
         node = Node(node_id, label, value)
         self._attach(node, parent, position)
         self._nodes[node_id] = node
+        self._touch()
         return node
 
     def delete(self, node_id: Any) -> Node:
@@ -265,15 +389,16 @@ class Tree:
             raise NotALeafError(node_id)
         if node.parent is None:
             raise RootOperationError("delete", node_id)
-        node.parent.children.remove(node)
-        node.parent = None
+        self._detach(node)
         del self._nodes[node_id]
+        self._touch()
         return node
 
     def update(self, node_id: Any, value: Any) -> Node:
         """Apply ``UPD(node_id, value)``: replace the node's value."""
         node = self.get(node_id)
         node.value = value
+        self._touch()
         return node
 
     def move(self, node_id: Any, parent_id: Any, position: int) -> Node:
@@ -293,9 +418,9 @@ class Tree:
             raise RootOperationError("move", node_id)
         if node is target or node.is_ancestor_of(target):
             raise CyclicMoveError(node_id, parent_id)
-        node.parent.children.remove(node)
-        node.parent = None
+        self._detach(node)
         self._attach(node, target, position)
+        self._touch()
         return node
 
     def _attach(self, node: Node, parent: Node, position: int) -> None:
@@ -304,34 +429,49 @@ class Tree:
             raise InvalidPositionError(position, limit)
         parent.children.insert(position - 1, node)
         node.parent = parent
+        node._slot = position - 1
+
+    def _detach(self, node: Node) -> None:
+        """Unlink *node* from its parent by known index, not a full scan.
+
+        ``list.remove(node)`` compares from position 0, so detaching the
+        last of *m* siblings costs O(m) — quadratic over a delete phase.
+        Every attach records the node's slot; removals of earlier siblings
+        shift it by at most a few places between consecutive detaches in
+        the common edit-script patterns, so a tiny probe window around the
+        hint (plus both ends, for bulk front/back sweeps) finds the node in
+        O(1). A full scan remains as fallback and is counted so tests can
+        assert the hint actually hits.
+        """
+        parent = node.parent
+        siblings = parent.children
+        count = len(siblings)
+        slot = node._slot
+        if 0 <= slot < count and siblings[slot] is node:
+            index = slot
+        else:
+            index = -1
+            for probe in (slot - 1, slot + 1, slot - 2, slot + 2, 0, count - 1):
+                if 0 <= probe < count and siblings[probe] is node:
+                    index = probe
+                    break
+            if index < 0:
+                index = siblings.index(node)
+                self.detach_fallback_scans += 1
+        del siblings[index]
+        node.parent = None
 
     # ------------------------------------------------------------------
     # Copying and snapshots
     # ------------------------------------------------------------------
     def copy(self) -> "Tree":
-        """Return a deep structural copy preserving node identifiers."""
-        clone = Tree()
-        if self.root is None:
-            return clone
-        mapping: Dict[Any, Node] = {}
-        root = Node(self.root.id, self.root.label, self.root.value)
-        clone.root = root
-        clone._nodes[root.id] = root
-        mapping[self.root.id] = root
-        for node in self.preorder():
-            if node is self.root:
-                continue
-            twin = Node(node.id, node.label, node.value)
-            parent_twin = mapping[node.parent.id]
-            parent_twin.children.append(twin)
-            twin.parent = parent_twin
-            clone._nodes[twin.id] = twin
-            mapping[node.id] = twin
-        # Keep freshly generated ids disjoint from any numeric ids present.
-        numeric = [n for n in self._nodes if isinstance(n, int)]
-        if numeric:
-            clone._id_counter = itertools.count(max(numeric) + 1)
-        return clone
+        """Return an independent copy preserving node identifiers.
+
+        Flattens to the (cached) arena snapshot and wraps it in a new lazy
+        view — the copy shares the immutable arrays and allocates no nodes
+        until one side actually needs them.
+        """
+        return Tree.from_arena(self.to_arena())
 
     def to_obj(self) -> Optional[NestedSpec]:
         """Inverse of :meth:`from_obj` (identifiers are not preserved)."""
@@ -369,7 +509,35 @@ class Tree:
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Tree(nodes={len(self._nodes)})"
+        return f"Tree(nodes={len(self)})"
+
+
+def _nodes_from_arena(arena: TreeArena) -> Tuple[Optional[Node], Dict[Any, Node], List[Node]]:
+    """Build a node graph from an arena in one preorder pass.
+
+    Returns ``(root, node_map, order)`` where ``order[p]`` is the node at
+    preorder position ``p``. Parents precede children in preorder, so each
+    node's parent object already exists when the node is created.
+    """
+    node_ids = arena.node_ids
+    labels = arena.labels
+    values = arena.values
+    parents = arena.parent
+    label_pool = arena.label_pool
+    value_pool = arena.value_pool
+    order: List[Node] = []
+    node_map: Dict[Any, Node] = {}
+    for pos in range(arena.n):
+        node = Node(node_ids[pos], label_pool[labels[pos]], value_pool[values[pos]])
+        parent_pos = parents[pos]
+        if parent_pos >= 0:
+            parent_node = order[parent_pos]
+            node.parent = parent_node
+            node._slot = len(parent_node.children)
+            parent_node.children.append(node)
+        order.append(node)
+        node_map[node.id] = node
+    return (order[0] if order else None), node_map, order
 
 
 def _unpack_spec(spec: NestedSpec) -> Tuple[str, Any, Iterable[NestedSpec]]:
@@ -396,4 +564,7 @@ def map_tree(tree: Tree, fn: Callable[[Node], Tuple[str, Any]]) -> Tree:
     clone = tree.copy()
     for node in clone.preorder():
         node.label, node.value = fn(node)
+    # The in-place rewrites bypassed the mutation API; drop the snapshot
+    # the copy shared with the source tree.
+    clone._touch()
     return clone

@@ -35,6 +35,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional, Set
 
+from .._compat import DATACLASS_SLOTS
 from ..core.index import TreeIndex
 from ..core.isomorphism import trees_isomorphic
 from ..core.node import Node
@@ -49,7 +50,7 @@ from .script import EditScript
 DUMMY_ROOT_LABEL = "__ROOT__"
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class GenerationStats:
     """Counters describing the work done by one generator run."""
 
@@ -208,10 +209,10 @@ class _Generator:
         self._fresh = itertools.count(max(existing, default=0) + 1)
 
     def _bind_index_tables(self) -> None:
-        """Bind the index's lookup tables once; FindPos runs per node."""
+        """Bind the index's lookup accessors once; FindPos runs per node."""
         if self.index2 is not None:
             self._owned2_get = self.index2.node_table().get
-            self._child_rank2 = self.index2.child_rank_table()
+            self._child_rank2 = self.index2.child_rank
         else:
             self._owned2_get = None
             self._child_rank2 = None
@@ -390,7 +391,7 @@ class _Generator:
             # left sibling instead of walking every slot from the left.
             siblings = y.children
             in_order = self.in_order2
-            position = self._child_rank2[x.id] - 2
+            position = self._child_rank2(x.id) - 2
             while position >= 0:
                 sibling = siblings[position]
                 if sibling.id in in_order:
@@ -441,6 +442,7 @@ def _wrap_with_dummy_root(tree: Tree, dummy_id: Any) -> Tree:
     dummy = Node(dummy_id, DUMMY_ROOT_LABEL, None)
     dummy.children.append(old_root)
     old_root.parent = dummy
+    old_root._slot = 0
     tree.root = dummy
     tree._nodes[dummy_id] = dummy
     return tree

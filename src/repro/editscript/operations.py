@@ -12,10 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Union
 
+from .._compat import DATACLASS_SLOTS
+from ..core.arena import ArenaOverlay
 from ..core.tree import Tree
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Insert:
     """``INS((node_id, label, value), parent_id, position)``.
 
@@ -32,6 +34,11 @@ class Insert:
     def apply(self, tree: Tree) -> None:
         tree.insert(self.node_id, self.label, self.value, self.parent_id, self.position)
 
+    def apply_overlay(self, overlay: ArenaOverlay) -> None:
+        overlay.insert(
+            self.node_id, self.label, self.value, self.parent_id, self.position
+        )
+
     def __str__(self) -> str:
         return (
             f"INS(({self.node_id}, {self.label}, {_fmt(self.value)}), "
@@ -39,7 +46,7 @@ class Insert:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Delete:
     """``DEL(node_id)``: remove a leaf node."""
 
@@ -48,11 +55,14 @@ class Delete:
     def apply(self, tree: Tree) -> None:
         tree.delete(self.node_id)
 
+    def apply_overlay(self, overlay: ArenaOverlay) -> None:
+        overlay.delete(self.node_id)
+
     def __str__(self) -> str:
         return f"DEL({self.node_id})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Update:
     """``UPD(node_id, value)``: replace the node's value.
 
@@ -67,11 +77,14 @@ class Update:
     def apply(self, tree: Tree) -> None:
         tree.update(self.node_id, self.value)
 
+    def apply_overlay(self, overlay: ArenaOverlay) -> None:
+        overlay.update(self.node_id, self.value)
+
     def __str__(self) -> str:
         return f"UPD({self.node_id}, {_fmt(self.value)})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Move:
     """``MOV(node_id, parent_id, position)``: re-parent a whole subtree."""
 
@@ -81,6 +94,9 @@ class Move:
 
     def apply(self, tree: Tree) -> None:
         tree.move(self.node_id, self.parent_id, self.position)
+
+    def apply_overlay(self, overlay: ArenaOverlay) -> None:
+        overlay.move(self.node_id, self.parent_id, self.position)
 
     def __str__(self) -> str:
         return f"MOV({self.node_id}, {self.parent_id}, {self.position})"

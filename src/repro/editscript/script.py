@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
+from ..core.arena import ArenaOverlay, TreeArena
 from ..core.errors import EditScriptError
 from ..core.tree import Tree
 from .cost import DEFAULT_COST_MODEL, CostModel
@@ -106,6 +107,33 @@ class EditScript:
                     f"operation {index} ({op}) failed: {exc}"
                 ) from exc
         return target
+
+    def apply_to_arena(self, arena: TreeArena) -> TreeArena:
+        """Replay against an immutable arena snapshot; return a fresh one.
+
+        Operations run through a copy-on-write :class:`ArenaOverlay` —
+        *arena* is never modified, no node objects are built, and the
+        edited shape is re-flattened once at the end. Validation and error
+        surface match :meth:`apply_to`.
+        """
+        overlay = ArenaOverlay(arena)
+        self.replay_on_overlay(overlay)
+        return overlay.flatten()
+
+    def replay_on_overlay(self, overlay: ArenaOverlay) -> None:
+        """Run every operation against an existing overlay, in order.
+
+        Exposed separately from :meth:`apply_to_arena` so callers that need
+        to bracket the replay (e.g. the version store's dummy-root
+        ``wrap_root``/``strip_root``) can share one overlay.
+        """
+        for index, op in enumerate(self._operations):
+            try:
+                op.apply_overlay(overlay)
+            except Exception as exc:
+                raise EditScriptError(
+                    f"operation {index} ({op}) failed: {exc}"
+                ) from exc
 
     # ------------------------------------------------------------------
     # Serialization

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .._compat import DATACLASS_SLOTS
 from ..compare.generic import CompareRegistry
 from ..core.errors import ConfigError
 from ..core.index import TreeIndex
@@ -28,7 +29,7 @@ from .matching import Matching
 NodeCompare = Callable[[Node, Node], float]
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class MatchingStats:
     """Instrumentation counters for the §8 performance study.
 
@@ -102,6 +103,8 @@ class CriteriaContext:
     comparable (see ``benchmarks/bench_pipeline.py``).
     """
 
+    __slots__ = ("t1", "t2", "config", "stats", "index1", "index2", "_leaf_counts")
+
     def __init__(
         self,
         t1: Tree,
@@ -170,9 +173,11 @@ class CriteriaContext:
 
         Implemented by walking the leaves of ``x`` and checking whether each
         partner lies under ``y``; every containment test counts as one
-        partner check (the paper's ``r2``). With tree indexes the leaf walk
-        is a precomputed span and each containment test is O(1); both paths
-        count ``r2`` identically.
+        partner check (the paper's ``r2``). With tree indexes the whole
+        evaluation is arena index arithmetic — leaf identifiers come from a
+        precomputed span over the flat leaf-position array and each
+        containment test is one preorder-interval comparison, with no node
+        objects touched. Both paths count ``r2`` identically.
         """
         index1, index2 = self.index1, self.index2
         if (
@@ -181,15 +186,24 @@ class CriteriaContext:
             and index1.owns(x)
             and index2.owns(y)
         ):
-            count = 0
-            y_id = y.id
+            arena1 = index1.arena
+            arena2 = index2.arena
+            node_ids1 = arena1.node_ids
+            leaf_positions = index1.leaf_position_array()
+            start, stop = index1.leaf_span(x.id)
+            pos_of2 = arena2.pos_of
+            y_pos = pos_of2[y.id]
+            y_end = y_pos + arena2.subtree_size[y_pos]
+            partner1 = matching.partner1
             stats = self.stats
-            for leaf in index1.leaves_of(x.id):
-                partner_id = matching.partner1(leaf.id)
+            count = 0
+            for i in range(start, stop):
+                partner_id = partner1(node_ids1[leaf_positions[i]])
                 stats.partner_checks += 1
                 if partner_id is None:
                     continue
-                if index2.is_under(partner_id, y_id):
+                partner_pos = pos_of2[partner_id]
+                if y_pos < partner_pos < y_end:
                     count += 1
             return count
         count = 0

@@ -58,23 +58,44 @@ def fast_match(
 
     index1, index2 = context.index1, context.index2
     if index1 is not None and index2 is not None:
-        # chain_T(l) and the label lists were materialized by the index pass.
-        chains1 = index1.chains()
-        chains2 = index2.chains()
+        # chain_T(l) and the label lists were computed by the index pass
+        # from arena arrays; the leaf/internal split happens positionally
+        # (one first_child test per chain entry) instead of re-filtering
+        # full chains through node objects per label.
         leaf_labels = ordered_label_union(
             index1.leaf_labels(), index2.leaf_labels()
         )
         internal_labels = schema.sort_labels(
             ordered_label_union(index1.internal_labels(), index2.internal_labels())
         )
-    else:
-        # chain_T(l) for both trees: label -> nodes in left-to-right order.
-        chains1 = label_chains(t1)
-        chains2 = label_chains(t2)
-        leaf_labels = ordered_label_union(t1.leaf_labels(), t2.leaf_labels())
-        internal_labels = schema.sort_labels(
-            ordered_label_union(t1.internal_labels(), t2.internal_labels())
-        )
+        for label in leaf_labels:
+            _match_label(
+                label,
+                index1.leaf_chain(label),
+                index2.leaf_chain(label),
+                matching,
+                context,
+                leaf=True,
+            )
+        for label in internal_labels:
+            _match_label(
+                label,
+                index1.internal_chain(label),
+                index2.internal_chain(label),
+                matching,
+                context,
+                leaf=False,
+            )
+        apply_root_policy(t1, t2, matching, context.config)
+        return matching
+
+    # chain_T(l) for both trees: label -> nodes in left-to-right order.
+    chains1 = label_chains(t1)
+    chains2 = label_chains(t2)
+    leaf_labels = ordered_label_union(t1.leaf_labels(), t2.leaf_labels())
+    internal_labels = schema.sort_labels(
+        ordered_label_union(t1.internal_labels(), t2.internal_labels())
+    )
 
     for label in leaf_labels:
         _match_label(

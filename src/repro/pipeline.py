@@ -39,6 +39,7 @@ from typing import (
     Tuple,
 )
 
+from ._compat import DATACLASS_SLOTS
 from .core.errors import ConfigError
 from .core.index import TreeIndex, cached_index
 from .core.tree import Tree
@@ -132,7 +133,7 @@ class DiffConfig:
 # ---------------------------------------------------------------------------
 # Tracing
 # ---------------------------------------------------------------------------
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class Span:
     """One completed pipeline stage: name, wall time, and annotations."""
 
@@ -153,6 +154,8 @@ class Trace:
     ``lcs_calls``, ``postprocess_repairs``, ``operations``, and
     ``index_cache_hits``.
     """
+
+    __slots__ = ("spans", "counters", "_listeners")
 
     def __init__(self, listeners: Tuple[SpanListener, ...] = ()) -> None:
         self.spans: List[Span] = []

@@ -24,8 +24,9 @@ from __future__ import annotations
 import hashlib
 import json
 import struct
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
+from ..core.arena import TreeArena
 from ..core.node import Node
 from ..core.tree import Tree
 
@@ -103,8 +104,61 @@ class DigestIndex:
         return len(self.by_id)
 
 
+def arena_digests(arena: TreeArena) -> DigestIndex:
+    """Compute per-subtree digests directly over arena arrays.
+
+    One reverse-preorder pass (children precede parents); label and value
+    encodings are computed once per interned pool entry instead of once
+    per node. Byte-identical to the object-path digests.
+    """
+    n = arena.n
+    if n == 0:
+        return DigestIndex({}, EMPTY_TREE_DIGEST)
+    label_enc = [
+        _encode_field(str(label).encode("utf-8", "surrogatepass"))
+        for label in arena.label_pool
+    ]
+    value_enc = [_encode_field(_encode_value(v)) for v in arena.value_pool]
+    labels = arena.labels
+    values = arena.values
+    parents = arena.parent
+    blake2b = hashlib.blake2b
+    digests: List[Optional[bytes]] = [None] * n
+    # Children digests accumulate right-to-left as the reverse pass meets
+    # them; reverse once per parent when hashing.
+    pending: List[Optional[List[bytes]]] = [None] * n
+    for pos in range(n - 1, -1, -1):
+        hasher = blake2b(digest_size=DIGEST_SIZE)
+        hasher.update(label_enc[labels[pos]])
+        hasher.update(value_enc[values[pos]])
+        children = pending[pos]
+        if children is not None:
+            children.reverse()
+            hasher.update(b"".join(children))
+            pending[pos] = None
+        digest = hasher.digest()
+        digests[pos] = digest
+        parent_pos = parents[pos]
+        if parent_pos >= 0:
+            parts = pending[parent_pos]
+            if parts is None:
+                pending[parent_pos] = [digest]
+            else:
+                parts.append(digest)
+    by_id = dict(zip(arena.node_ids, digests))
+    return DigestIndex(by_id, digests[0])
+
+
 def compute_digests(tree: Tree) -> DigestIndex:
-    """Compute per-subtree digests in one iterative post-order pass."""
+    """Compute per-subtree digests in one iterative post-order pass.
+
+    Reads the tree's cached arena snapshot when present (no node graph is
+    materialized on the parse/copy/checkout paths); falls back to walking
+    node objects otherwise.
+    """
+    arena = tree.arena_snapshot()
+    if arena is not None:
+        return arena_digests(arena)
     by_id: Dict[Any, bytes] = {}
     if tree.root is None:
         return DigestIndex(by_id, EMPTY_TREE_DIGEST)

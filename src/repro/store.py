@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .service.engine import DiffEngine
 
+from .core.arena import ArenaOverlay, TreeArena
 from .core.errors import ReproError
 from .core.isomorphism import trees_isomorphic
 from .core.serialization import tree_from_dict, tree_to_dict
@@ -85,7 +86,9 @@ class VersionStore:
         self._pipeline = DiffPipeline(DiffConfig(match=config))
         self._engine = engine
         self._head_digest: Optional[str] = None
-        self._checkout_cache: "OrderedDict[int, Tree]" = OrderedDict()
+        #: memoized historical versions as immutable arena snapshots —
+        #: handing one out is a zero-copy ``Tree.from_arena`` view
+        self._checkout_cache: "OrderedDict[int, TreeArena]" = OrderedDict()
         self._checkout_cache_size = checkout_cache_size
         #: cache accounting for tests and capacity tuning
         self.checkout_hits = 0
@@ -199,10 +202,13 @@ class VersionStore:
     def checkout(self, version: int) -> Tree:
         """Reconstruct a historical version by replaying inverse deltas.
 
-        Materialized versions are memoized in a bounded LRU (committed
-        versions are immutable, so entries never go stale). A miss replays
-        from the nearest *newer* materialization — the head, or a cached
-        version — instead of always walking the whole chain from the head.
+        Materialized versions are memoized in a bounded LRU as immutable
+        :class:`~repro.core.arena.TreeArena` snapshots (committed versions
+        never change, so entries never go stale and need no defensive
+        copies — a hit is one zero-copy ``Tree.from_arena`` view). A miss
+        replays from the nearest *newer* materialization — the head, or a
+        cached version — arena to arena through copy-on-write overlays,
+        building no intermediate node objects.
         """
         if not self._info:
             raise VersionStoreError("the store is empty")
@@ -217,23 +223,24 @@ class VersionStore:
             if cached is not None:
                 self._checkout_cache.move_to_end(version)
                 self.checkout_hits += 1
-                return cached.copy()
+                return Tree.from_arena(cached)
             self.checkout_misses += 1
         start = self.head_version
-        tree = self._head
+        arena: Optional[TreeArena] = None
         for candidate in self._checkout_cache:
             if version < candidate < start:
                 start = candidate
-                tree = self._checkout_cache[candidate]
-        tree = tree.copy()
+                arena = self._checkout_cache[candidate]
+        if arena is None:
+            arena = self._head.to_arena()
         for index in range(start - 1, version - 1, -1):
-            tree = self._apply_leg(tree, index, backward=True)
+            arena = self._apply_leg_arena(arena, index, backward=True)
         if self._checkout_cache_size:
-            self._checkout_cache[version] = tree.copy()
+            self._checkout_cache[version] = arena
             self._checkout_cache.move_to_end(version)
             while len(self._checkout_cache) > self._checkout_cache_size:
                 self._checkout_cache.popitem(last=False)
-        return tree
+        return Tree.from_arena(arena)
 
     def forward_delta(self, version: int) -> EditScript:
         """The stored script transforming *version* into *version + 1*."""
@@ -263,6 +270,20 @@ class VersionStore:
         if wrapped:
             tree = _strip_dummy_root(tree)
         return tree
+
+    def _apply_leg_arena(self, arena: TreeArena, index: int, backward: bool) -> TreeArena:
+        """Arena-to-arena replay of one leg (checkout's hot path)."""
+        from .editscript.generator import DUMMY_ROOT_LABEL
+
+        wrapped = self._wrapped[index]
+        script = self._backward[index] if backward else self._forward[index]
+        overlay = ArenaOverlay(arena)
+        if wrapped:
+            overlay.wrap_root(self._wrapped_ids[index], DUMMY_ROOT_LABEL)
+        script.replay_on_overlay(overlay)
+        if wrapped:
+            overlay.strip_root()
+        return overlay.flatten()
 
     # ------------------------------------------------------------------
     # Persistence

@@ -28,6 +28,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from ..core.arena import ArenaOverlay
+from ..core.index import LegacyTreeIndex, TreeIndex
+from ..core.isomorphism import trees_isomorphic
 from ..core.serialization import tree_from_dict, tree_to_dict
 from ..core.tree import Tree
 from ..editscript.generator import _Generator
@@ -237,6 +240,7 @@ def check_pair(
                 results=results,
             )
             report.record("differential", outcome.violations)
+        report.record("arena", _arena_check(t1, t2, results))
     except Exception as exc:
         report.record(
             "pipeline",
@@ -253,6 +257,113 @@ def check_pair(
 
 def _pair_fails(t1: Tree, t2: Tree, config: FuzzConfig, runner: Runner) -> bool:
     return not check_pair(t1, t2, config, runner).ok
+
+
+# ---------------------------------------------------------------------------
+# Arena representation crosschecks (the object core's differential twin)
+# ---------------------------------------------------------------------------
+def _arena_check(
+    t1: Tree, t2: Tree, results: Dict[str, "DiffResult"]
+) -> List[Violation]:
+    """Differential oracles between the object and arena representations.
+
+    Three families, run on every fuzzed pair:
+
+    * Node graph → :class:`~repro.core.arena.TreeArena` → Node graph
+      round-trips to an isomorphic tree with identical preorder ids;
+    * the arena-backed :class:`~repro.core.index.TreeIndex` agrees with the
+      object-walking :class:`~repro.core.index.LegacyTreeIndex` on every
+      rank, size, leaf count, child rank, and leaf ordering;
+    * each generated script replays through a copy-on-write
+      :class:`~repro.core.arena.ArenaOverlay` to a tree isomorphic to T2,
+      matching the object-path ``replay``.
+    """
+    from ..editscript.generator import DUMMY_ROOT_LABEL
+
+    violations: List[Violation] = []
+    for name, tree in (("t1", t1), ("t2", t2)):
+        arena = tree.to_arena()
+        round_tripped = Tree.from_arena(arena)
+        if not trees_isomorphic(tree, round_tripped):
+            violations.append(
+                Violation(
+                    "arena",
+                    "node graph -> arena -> node graph round-trip broke isomorphism",
+                    {"tree": name},
+                )
+            )
+        preorder_ids = [node.id for node in tree.preorder()]
+        if list(round_tripped.node_ids()) != preorder_ids:
+            violations.append(
+                Violation(
+                    "arena",
+                    "arena round-trip changed node identifiers or their order",
+                    {"tree": name},
+                )
+            )
+        fast = TreeIndex(tree)
+        legacy = LegacyTreeIndex(tree)
+        for node_id in preorder_ids:
+            checks = [
+                ("rank", fast.rank(node_id), legacy.rank(node_id)),
+                (
+                    "subtree_size",
+                    fast.subtree_size(node_id),
+                    legacy.subtree_size(node_id),
+                ),
+                ("leaf_count", fast.leaf_count(node_id), legacy.leaf_count(node_id)),
+            ]
+            if node_id != tree.root.id:
+                checks.append(
+                    ("child_rank", fast.child_rank(node_id), legacy.child_rank(node_id))
+                )
+            for what, got, want in checks:
+                if got != want:
+                    violations.append(
+                        Violation(
+                            "arena",
+                            f"TreeIndex and LegacyTreeIndex disagree on {what}",
+                            {"tree": name, "node": node_id, "fast": got, "legacy": want},
+                        )
+                    )
+        fast_leaves = [n.id for n in fast.leaves_of(tree.root.id)]
+        legacy_leaves = [n.id for n in legacy.leaves_of(tree.root.id)]
+        if fast_leaves != legacy_leaves:
+            violations.append(
+                Violation(
+                    "arena",
+                    "TreeIndex and LegacyTreeIndex disagree on leaf ordering",
+                    {"tree": name},
+                )
+            )
+    for algorithm, result in results.items():
+        edit = result.edit
+        try:
+            overlay = ArenaOverlay(t1.to_arena())
+            if edit.wrapped:
+                overlay.wrap_root(edit.dummy_t1_id, DUMMY_ROOT_LABEL)
+            edit.script.replay_on_overlay(overlay)
+            if edit.wrapped:
+                overlay.strip_root()
+            replayed = Tree.from_arena(overlay.flatten())
+        except Exception as exc:
+            violations.append(
+                Violation(
+                    "arena",
+                    "overlay replay of the edit script raised",
+                    {"algorithm": algorithm, "error": f"{type(exc).__name__}: {exc}"},
+                )
+            )
+            continue
+        if not trees_isomorphic(replayed, t2):
+            violations.append(
+                Violation(
+                    "arena",
+                    "overlay replay produced a tree not isomorphic to T2",
+                    {"algorithm": algorithm},
+                )
+            )
+    return violations
 
 
 # ---------------------------------------------------------------------------

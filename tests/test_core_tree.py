@@ -1,5 +1,7 @@
 """Unit tests for the ordered-tree substrate (repro.core.tree)."""
 
+import random
+
 import pytest
 
 from repro.core import (
@@ -290,3 +292,59 @@ class TestNodeApi:
         assert small_tree.root.leaf_count() == 3
         assert small_tree.root.subtree_size() == 6
         assert small_tree.get(2).leaf_count() == 2
+
+
+class TestWideSiblingDetach:
+    """Bulk deletes among many siblings must not degrade to O(siblings).
+
+    ``Tree._detach`` finds the node by its recorded slot hint (plus a tiny
+    probe window and both ends); ``detach_fallback_scans`` counts the times
+    it had to fall back to a full ``list.index`` scan.
+    """
+
+    WIDTH = 500
+
+    def wide_tree(self):
+        tree = Tree()
+        root = tree.create_node("D", None)
+        leaves = [
+            tree.create_node("S", f"v{i}", parent=root)
+            for i in range(self.WIDTH)
+        ]
+        return tree, root, leaves
+
+    def test_back_to_front_bulk_delete_never_scans(self):
+        tree, _, leaves = self.wide_tree()
+        for leaf in reversed(leaves):
+            tree.delete(leaf.id)
+        assert tree.detach_fallback_scans == 0
+        assert len(tree) == 1
+
+    def test_front_to_back_bulk_delete_never_scans(self):
+        tree, _, leaves = self.wide_tree()
+        for leaf in leaves:
+            tree.delete(leaf.id)
+        assert tree.detach_fallback_scans == 0
+        assert len(tree) == 1
+
+    def test_bulk_move_out_never_scans(self):
+        tree, root, leaves = self.wide_tree()
+        target = tree.create_node("P", None, parent=root)
+        for leaf in leaves:
+            tree.move(leaf.id, target.id, len(target.children) + 1)
+        assert tree.detach_fallback_scans == 0
+        assert [c.value for c in target.children] == [
+            f"v{i}" for i in range(self.WIDTH)
+        ]
+
+    def test_interleaved_ops_stay_correct_with_fallback(self):
+        # Arbitrary interleavings may miss the probe window; correctness
+        # (not the counter) is the contract then.
+        rng = random.Random(96)
+        tree, root, leaves = self.wide_tree()
+        alive = list(leaves)
+        for _ in range(300):
+            victim = alive.pop(rng.randrange(len(alive)))
+            tree.delete(victim.id)
+        assert len(tree) == 1 + len(alive)
+        assert [c.id for c in root.children] == [n.id for n in alive]
