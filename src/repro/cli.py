@@ -271,6 +271,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "-f", type=float, default=0.6, help="leaf threshold f (default 0.6)"
     )
+
+    p_simtest = sub.add_parser(
+        "simtest",
+        help="deterministic fault-injection scenarios for the serve stack",
+    )
+    p_simtest.add_argument(
+        "--seed", type=int, default=0,
+        help="scenario seed; the same seed produces a byte-identical "
+             "event log (default 0)",
+    )
+    p_simtest.add_argument(
+        "--scenario", default="all", metavar="NAME",
+        help="one scenario name, or 'all' for the full matrix (default: all); "
+             "see --list",
+    )
+    p_simtest.add_argument(
+        "--list", action="store_true", help="print scenario names and exit"
+    )
+    p_simtest.add_argument(
+        "--event-log", metavar="PATH", default=None,
+        help="write the combined JSONL event log here (byte-identical per seed)",
+    )
+    p_simtest.add_argument(
+        "--shrink", action="store_true",
+        help="on failure, greedily minimize the fault plan to a minimal repro",
+    )
+    p_simtest.add_argument(
+        "--json", action="store_true", help="emit the run summary as JSON"
+    )
     return parser
 
 
@@ -328,6 +357,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_fuzz(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "simtest":
+            return _cmd_simtest(args)
     except ConfigError as exc:
         # One typed error covers every invalid-configuration path (bad
         # thresholds, unknown algorithm/format) across all subcommands.
@@ -649,6 +680,72 @@ def _cmd_fuzz(args) -> int:
         if failure.repro_path:
             print(f"  repro: {failure.repro_path}", file=sys.stderr)
     return 0 if fuzzed.ok else 1
+
+
+def _cmd_simtest(args) -> int:
+    # Imported here: the scenario layer pulls in the whole serve stack,
+    # which the document-diffing subcommands should not pay for.
+    from .simtest.scenario import run_scenario, shrink_plan
+    from .simtest.scenarios import SCENARIOS, build_scenario
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(name)
+        return 0
+    if args.scenario == "all":
+        names = sorted(SCENARIOS)
+    elif args.scenario in SCENARIOS:
+        names = [args.scenario]
+    else:
+        raise ConfigError(
+            f"unknown scenario {args.scenario!r}; choose from "
+            f"{sorted(SCENARIOS)} or 'all'"
+        )
+
+    results = {}
+    shrunk_plans = {}
+    chunks = []
+    for name in names:
+        spec = build_scenario(name, seed=args.seed)
+        result = run_scenario(spec)
+        if not result.ok and args.shrink and spec.plan is not None:
+            small, result = shrink_plan(spec)
+            shrunk_plans[name] = small.plan.describe() if small.plan else []
+        results[name] = result
+        chunks.append(result.event_jsonl())
+    if args.event_log:
+        with open(args.event_log, "w", encoding="utf-8") as handle:
+            handle.write("".join(chunks))
+    failures = [name for name, result in results.items() if not result.ok]
+
+    if args.json:
+        print(json.dumps(
+            {
+                "seed": args.seed,
+                "ok": not failures,
+                "scenarios": {n: r.summary() for n, r in results.items()},
+                "shrunk_plans": shrunk_plans,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 1 if failures else 0
+    for name, result in results.items():
+        status = "PASS" if result.ok else "FAIL"
+        print(
+            f"{status} {name} (seed {args.seed}): "
+            f"{len(result.records)} request(s), {len(result.log)} event(s), "
+            f"{result.stats['faults_fired']} fault(s), "
+            f"virtual {result.stats['virtual_elapsed_s']:.3f}s"
+        )
+        for violation in result.violations:
+            print(f"  violation: {violation}", file=sys.stderr)
+        if name in shrunk_plans:
+            print(f"  minimal fault plan: {shrunk_plans[name]}", file=sys.stderr)
+    print(
+        f"{len(results) - len(failures)}/{len(results)} scenario(s) passed"
+    )
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

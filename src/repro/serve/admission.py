@@ -20,7 +20,12 @@ Overload policy for the diff service, in the order the app applies it:
    running at all.
 
 Everything here is synchronous, lock-protected, and clock-injectable so
-the policy is unit-testable without sockets or an event loop.
+the policy is unit-testable without sockets or an event loop. Every
+``clock=`` parameter accepts either the legacy bare callable
+(``() -> float`` monotonic reader) or a full
+:class:`repro.simtest.clock.Clock` object — both are normalized through
+:func:`repro.simtest.clock.monotonic_callable`, so the simulation harness
+can drive admission deadlines and token refill on virtual time.
 """
 
 from __future__ import annotations
@@ -30,6 +35,8 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
+
+from ..simtest.clock import monotonic_callable
 
 Clock = Callable[[], float]
 
@@ -53,9 +60,9 @@ class TokenBucket:
             raise ValueError(f"burst must be >= 1, got {burst}")
         self.rate = rate
         self.burst = burst
-        self._clock = clock
+        self._clock = monotonic_callable(clock)
         self._tokens = burst
-        self._stamp = clock()
+        self._stamp = self._clock()
 
     def try_acquire(self, tokens: float = 1.0) -> float:
         """Take *tokens* if available; return 0.0, else seconds until refill."""
@@ -86,7 +93,7 @@ class RateLimiter:
         self.rate = rate
         self.burst = burst
         self.max_clients = max_clients
-        self._clock = clock
+        self._clock = monotonic_callable(clock)
         self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -116,8 +123,8 @@ class Deadline:
     """A monotonic budget: how long this request may still take."""
 
     def __init__(self, budget_s: float, clock: Clock = time.monotonic) -> None:
-        self._clock = clock
-        self._expires = clock() + budget_s
+        self._clock = monotonic_callable(clock)
+        self._expires = self._clock() + budget_s
         self.budget_s = budget_s
 
     def remaining(self) -> float:
@@ -160,8 +167,8 @@ class AdmissionController:
         self.queue_capacity = queue_capacity
         self.max_body_bytes = max_body_bytes
         self.default_deadline_ms = default_deadline_ms
-        self.limiter = RateLimiter(rate=rate, burst=burst, clock=clock)
-        self._clock = clock
+        self._clock = monotonic_callable(clock)
+        self.limiter = RateLimiter(rate=rate, burst=burst, clock=self._clock)
         self._mean_wall_ms = mean_wall_ms
         self._lock = threading.Lock()
         self._in_flight = 0

@@ -31,13 +31,13 @@ from __future__ import annotations
 import asyncio
 import math
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
 from ..matching.criteria import MatchConfig
 from ..service.engine import DiffEngine
 from ..service.metrics import ServiceMetrics
+from ..simtest.clock import SYSTEM_CLOCK
 from .admission import AdmissionController, Deadline
 from .lifecycle import Lifecycle, dump_final_metrics
 from .protocol import (
@@ -90,9 +90,13 @@ class DiffServer:
         config: Optional[ServeConfig] = None,
         engine: Optional[DiffEngine] = None,
         metrics: Optional[ServiceMetrics] = None,
+        clock: Optional[Any] = None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
-        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.metrics = (
+            metrics if metrics is not None else ServiceMetrics(clock=self.clock)
+        )
         if engine is not None:
             self.engine = engine
             self.engine.metrics = self.metrics
@@ -114,10 +118,14 @@ class DiffServer:
             max_body_bytes=self.config.max_body_bytes,
             default_deadline_ms=self.config.deadline_ms,
             mean_wall_ms=lambda: self.metrics.wall_ms.mean(),
+            clock=self.clock,
         )
-        self.lifecycle = Lifecycle(drain_timeout=self.config.drain_timeout)
+        self.lifecycle = Lifecycle(
+            drain_timeout=self.config.drain_timeout,
+            clock=clock,  # None in production: the loop clock drives drains
+        )
         self._server: Optional[asyncio.AbstractServer] = None
-        self._started = time.monotonic()
+        self._started = self.clock.monotonic()
         self.port: Optional[int] = None  #: actual bound port once started
         self._job_seq = 0
         # Loop-thread-only state: requests between first byte and last byte
@@ -207,7 +215,7 @@ class DiffServer:
         request_line = await reader.readline()
         if not request_line.strip():
             return False
-        started = time.perf_counter()
+        started = self.clock.perf_counter()
         self.metrics.incr("http_requests")
         self._active_requests += 1
         try:
@@ -261,7 +269,9 @@ class DiffServer:
         if self.lifecycle.draining:
             keep_alive = False
         self._count_response(status)
-        self.metrics.observe_stage("http", (time.perf_counter() - started) * 1000.0)
+        self.metrics.observe_stage(
+            "http", (self.clock.perf_counter() - started) * 1000.0
+        )
         await self._respond(writer, status, payload, extra, keep_alive)
         return keep_alive
 
@@ -464,7 +474,7 @@ class DiffServer:
         return {
             "status": "draining" if self.lifecycle.draining else "ok",
             "in_flight": self.admission.in_flight,
-            "uptime_s": round(time.monotonic() - self._started, 3),
+            "uptime_s": round(self.clock.monotonic() - self._started, 3),
             "protocol": PROTOCOL,
         }
 

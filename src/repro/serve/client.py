@@ -13,8 +13,11 @@ Hard 4xx failures (bad request, not found, too large) are never retried —
 resending a malformed body cannot fix it — and surface as
 :class:`ServiceError` carrying the decoded error payload.
 
-The clock and randomness are injectable (``sleep=``, ``rng=``) so retry
-schedules are unit-testable in microseconds.
+The clock and randomness are injectable (``clock=``, ``sleep=``, ``rng=``)
+so retry schedules are unit-testable in microseconds, and the transport
+accepts an optional :class:`~repro.simtest.faults.FaultInjector`
+(``faults=``) that can refuse connects, reset responses mid-body, or slow
+them down on a seeded schedule — a no-op unless armed.
 """
 
 from __future__ import annotations
@@ -23,10 +26,10 @@ import http.client
 import json
 import random
 import socket
-import time
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.tree import Tree
+from ..simtest.clock import SYSTEM_CLOCK, Clock
 from .protocol import PROTOCOL, RETRYABLE_STATUSES, tree_to_payload
 
 #: Wire form of a snapshot accepted by the helpers below.
@@ -76,9 +79,18 @@ class DiffServiceClient:
     client_id:
         Sent as ``X-Client-Id`` so the server's per-client rate limiter
         sees a stable identity across reconnects.
-    sleep, rng:
-        Injection points for tests (defaults: ``time.sleep``, a private
-        ``random.Random()``).
+    clock, sleep, rng:
+        Injection points for tests and the simulation harness. ``clock``
+        (a :class:`repro.simtest.clock.Clock`) supplies ``monotonic`` and
+        the default ``sleep``; passing ``sleep=`` separately overrides
+        just the backoff waits. Defaults: the real system clock and a
+        private ``random.Random()``. Every wait and every jitter draw
+        goes through these — there are no module-level ``time.``/
+        ``random.`` calls left on the request path, so a seeded ``rng``
+        plus a ``SimClock`` makes retry schedules fully reproducible.
+    faults:
+        Optional armed :class:`~repro.simtest.faults.FaultInjector`;
+        ``None`` (production) short-circuits to zero overhead.
     """
 
     def __init__(
@@ -92,8 +104,10 @@ class DiffServiceClient:
         max_retry_after: float = 30.0,
         timeout: float = 30.0,
         client_id: Optional[str] = None,
-        sleep: Callable[[float], None] = time.sleep,
+        clock: Optional[Clock] = None,
+        sleep: Optional[Callable[[float], None]] = None,
         rng: Optional[random.Random] = None,
+        faults: Optional[Any] = None,
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -108,8 +122,10 @@ class DiffServiceClient:
         self.max_retry_after = max_retry_after
         self.timeout = timeout
         self.client_id = client_id
-        self._sleep = sleep
+        self._clock = clock if clock is not None else SYSTEM_CLOCK
+        self._sleep = sleep if sleep is not None else self._clock.sleep
         self._rng = rng if rng is not None else random.Random()
+        self._faults = faults
         self._conn: Optional[http.client.HTTPConnection] = None
         #: Backoff delays actually slept, newest last (observability/tests).
         self.sleeps: List[float] = []
@@ -144,6 +160,12 @@ class DiffServiceClient:
         ``http.client`` exceptions; the load generator in
         ``benchmarks/bench_serve.py`` uses this to observe raw 429s.
         """
+        target = f"{self.host}:{self.port}"
+        if self._faults is not None:
+            if self._faults.fire("conn_refused", target=target) is not None:
+                raise ConnectionRefusedError(
+                    111, f"injected conn_refused to {target}"
+                )
         conn = self._connection()
         headers = {"Content-Type": "application/json", "Accept": "application/json"}
         if self.client_id is not None:
@@ -153,11 +175,22 @@ class DiffServiceClient:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
         try:
             conn.request(method, path, body=body, headers=headers)
+            if self._faults is not None:
+                # The request went out: a reset here means the server may
+                # have processed it, exactly the mid-body failure mode.
+                if self._faults.fire("conn_reset_mid_body", target=target):
+                    raise ConnectionResetError(
+                        104, f"injected conn_reset_mid_body from {target}"
+                    )
             response = conn.getresponse()
             raw = response.read()
         except Exception:
             self.close()  # a half-dead keep-alive socket must not be reused
             raise
+        if self._faults is not None:
+            fault = self._faults.fire("slow_response", target=target)
+            if fault is not None:
+                self._sleep(fault.magnitude)
         if response.headers.get("Connection", "").lower() == "close":
             self.close()
         try:
@@ -306,14 +339,19 @@ class DiffServiceClient:
         return self.request("GET", "/metrics")
 
     def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> bool:
-        """Poll ``/healthz`` until the server answers (startup races)."""
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
+        """Poll ``/healthz`` until the server answers (startup races).
+
+        Polls on the injected clock (not the injectable backoff ``sleep``),
+        so a no-op test sleep cannot turn readiness polling into a busy
+        spin, while a ``SimClock`` still makes it instant.
+        """
+        deadline = self._clock.monotonic() + timeout
+        while self._clock.monotonic() < deadline:
             try:
                 health = self.request_once("GET", "/healthz")[1]
                 if health.get("protocol") == PROTOCOL:
                     return True
             except (OSError, http.client.HTTPException):
                 pass
-            time.sleep(interval)
+            self._clock.sleep(interval)
         return False

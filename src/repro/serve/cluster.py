@@ -36,11 +36,11 @@ import os
 import signal
 import sys
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from ..service.metrics import merge_snapshots
+from ..simtest.clock import SYSTEM_CLOCK
 from .app import ServeConfig
 from .lifecycle import Lifecycle, dump_final_metrics
 from .protocol import PROTOCOL
@@ -113,9 +113,15 @@ def worker_env() -> Dict[str, str]:
 class ClusterServer:
     """One router, one supervisor, N worker subprocesses."""
 
-    def __init__(self, config: ClusterConfig) -> None:
+    def __init__(
+        self,
+        config: ClusterConfig,
+        clock: Optional[Any] = None,
+        faults: Optional[Any] = None,
+    ) -> None:
         self.config = config
-        self.lifecycle = Lifecycle(drain_timeout=config.drain_timeout)
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.lifecycle = Lifecycle(drain_timeout=config.drain_timeout, clock=clock)
         self.ring = HashRing(replicas=config.replicas)
         self.ports: Dict[str, int] = {}
         self.supervisor = Supervisor(
@@ -130,6 +136,8 @@ class ClusterServer:
             stop_timeout=config.drain_timeout,
             on_up=self._worker_up,
             on_down=self._worker_down,
+            clock=clock,
+            faults=faults,
         )
         self.router = Router(
             ring=self.ring,
@@ -142,9 +150,11 @@ class ClusterServer:
             max_body_bytes=config.serve.max_body_bytes,
             connect_timeout=config.connect_timeout,
             proxy_timeout=config.proxy_timeout,
+            clock=clock,
+            faults=faults,
         )
         self.port: Optional[int] = None
-        self._started = time.monotonic()
+        self._started = self.clock.monotonic()
         self._hup_event: Optional[asyncio.Event] = None
 
     # ------------------------------------------------------------------
@@ -178,7 +188,7 @@ class ClusterServer:
             "role": "cluster",
             "workers": workers,
             "workers_up": up,
-            "uptime_s": round(time.monotonic() - self._started, 3),
+            "uptime_s": round(self.clock.monotonic() - self._started, 3),
             "protocol": PROTOCOL,
         }
 

@@ -31,10 +31,10 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
-import time
 from bisect import bisect_left, insort
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
+from ..simtest.clock import SYSTEM_CLOCK
 from .lifecycle import Lifecycle
 from .protocol import (
     PROTOCOL,
@@ -164,6 +164,8 @@ class Router:
         max_body_bytes: int = 1 << 20,
         connect_timeout: float = 5.0,
         proxy_timeout: float = 120.0,
+        clock: Optional[Any] = None,
+        faults: Optional[Any] = None,
     ) -> None:
         self.ring = ring
         self.ports = ports
@@ -175,13 +177,16 @@ class Router:
         self.max_body_bytes = max_body_bytes
         self.connect_timeout = connect_timeout
         self.proxy_timeout = proxy_timeout
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        #: Optional armed FaultInjector for the proxy leg (None = no-op).
+        self.faults = faults
         #: Loop-thread-only counters surfaced under ``cluster.router``.
         self.counters: Dict[str, int] = {}
         self.active_requests = 0
         self.server: Optional[asyncio.AbstractServer] = None
         self.port: Optional[int] = None
         self._conn_tasks: set = set()
-        self._started = time.monotonic()
+        self._started = self.clock.monotonic()
 
     def _count(self, name: str, amount: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + amount
@@ -329,7 +334,9 @@ class Router:
             if port is None:
                 continue
             try:
-                status, resp_body = await self._forward(port, method, path, headers, body)
+                status, resp_body = await self._forward(
+                    port, method, path, headers, body, worker_id=worker_id
+                )
             except (OSError, asyncio.IncompleteReadError, asyncio.TimeoutError) as exc:
                 # The backend died under the request. Compute endpoints are
                 # pure functions of the body, so replaying on the next ring
@@ -352,13 +359,33 @@ class Router:
         )
 
     async def _forward(
-        self, port: int, method: str, path: str, headers: Dict[str, str], body: bytes
+        self,
+        port: int,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        worker_id: Optional[str] = None,
     ) -> Tuple[int, bytes]:
         """One fully-framed request/response exchange with a worker."""
+        if self.faults is not None:
+            # Each injected failure surfaces as exactly the exception class
+            # the real transport would raise, so _proxy's failover handling
+            # is the code under test, not a shortcut around it.
+            if self.faults.fire("conn_refused", target=worker_id):
+                raise ConnectionRefusedError(
+                    111, f"injected conn_refused to {worker_id}"
+                )
+            fault = self.faults.fire("slow_response", target=worker_id)
+            if fault is not None:
+                await asyncio.sleep(min(fault.magnitude, self.proxy_timeout))
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(self.backend_host, port), self.connect_timeout
         )
         try:
+            if self.faults is not None:
+                if self.faults.fire("conn_reset_mid_body", target=worker_id):
+                    raise asyncio.IncompleteReadError(b"", None)
             head = [
                 f"{method} {path} HTTP/1.1",
                 f"Host: {self.backend_host}:{port}",
@@ -418,5 +445,5 @@ class Router:
             "router": dict(sorted(self.counters.items())),
             "live_workers": self.ring.members(),
             "draining": self.lifecycle.draining,
-            "uptime_s": round(time.monotonic() - self._started, 3),
+            "uptime_s": round(self.clock.monotonic() - self._started, 3),
         }

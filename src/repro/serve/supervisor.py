@@ -92,6 +92,8 @@ class Supervisor:
         stop_timeout: float = 30.0,
         on_up: Optional[Callable[[WorkerHandle], None]] = None,
         on_down: Optional[Callable[[WorkerHandle], None]] = None,
+        clock: Optional[Any] = None,
+        faults: Optional[Any] = None,
     ) -> None:
         if count < 1:
             raise ValueError(f"worker count must be >= 1, got {count}")
@@ -106,11 +108,34 @@ class Supervisor:
         self.stop_timeout = stop_timeout
         self.on_up = on_up
         self.on_down = on_down
+        #: Optional injected Clock (simulation/tests); None = the loop clock.
+        self.clock = clock
+        #: Optional armed FaultInjector; ``worker_crash`` faults targeting a
+        #: worker id make the health checker kill that worker (a seeded,
+        #: deterministic stand-in for a real crash).
+        self.faults = faults
         self.workers: Dict[str, WorkerHandle] = {
             f"w{index}": WorkerHandle(f"w{index}") for index in range(count)
         }
         self._stopping = False
         self._rolling = False
+        #: Health ticks actually run (observability for drift tests).
+        self.ticks = 0
+
+    def _now(self, loop: asyncio.AbstractEventLoop) -> float:
+        return self.clock.monotonic() if self.clock is not None else loop.time()
+
+    async def _sleep_until(self, deadline: float, loop: asyncio.AbstractEventLoop) -> None:
+        remaining = deadline - self._now(loop)
+        if self.clock is None:
+            if remaining > 0:
+                await asyncio.sleep(remaining)
+        else:
+            # Virtual wait: advance the injected clock, then yield once so
+            # the rest of the loop observes the new time.
+            if remaining > 0:
+                self.clock.sleep(remaining)
+            await asyncio.sleep(0)
 
     # ------------------------------------------------------------------
     # Notifications
@@ -209,6 +234,15 @@ class Supervisor:
         return False
 
     async def _check_health(self, handle: WorkerHandle) -> bool:
+        if self.faults is not None:
+            if self.faults.fire("worker_crash", target=handle.worker_id):
+                # Injected crash: make it real so every downstream path
+                # (exit-code capture, ring removal, backoff) is the one
+                # production takes.
+                self._kill_quietly(handle)
+                if handle.proc is not None:
+                    await handle.proc.wait()
+                return False
         if handle.port is None or not handle.alive():
             return False
         try:
@@ -262,10 +296,27 @@ class Supervisor:
     # The supervision loop
     # ------------------------------------------------------------------
     async def supervise(self) -> None:
-        """Health-check loop; runs until cancelled or :meth:`stop`."""
+        """Health-check loop; runs until cancelled or :meth:`stop`.
+
+        Ticks are scheduled at *absolute* deadlines (``next_tick +=
+        interval``) computed from the clock, not by sleeping a fixed
+        interval after each pass — so the time spent health-checking and
+        restarting does not accumulate as drift, and restart-backoff
+        timing stays exact under both the real clock and ``SimClock``.
+        A stall longer than one interval (a slow restart, a clock jump)
+        skips the missed ticks instead of bursting to catch up.
+        """
         loop = asyncio.get_running_loop()
+        next_tick = self._now(loop) + self.health_interval
         while not self._stopping:
-            await asyncio.sleep(self.health_interval)
+            await self._sleep_until(next_tick, loop)
+            next_tick += self.health_interval
+            now = self._now(loop)
+            if next_tick <= now:  # stalled past a tick: realign, don't burst
+                next_tick = now + self.health_interval
+            if self._stopping:
+                break
+            self.ticks += 1
             if self._rolling:
                 continue  # rolling_restart owns worker state transitions
             for handle in self.workers.values():
@@ -273,7 +324,7 @@ class Supervisor:
                     break
                 if handle.state in ("up", "suspect"):
                     await self._tick_live(handle)
-                elif handle.state == "down" and loop.time() >= handle.retry_at:
+                elif handle.state == "down" and self._now(loop) >= handle.retry_at:
                     await self._try_restart(handle, loop)
 
     async def _tick_live(self, handle: WorkerHandle) -> None:
@@ -299,7 +350,7 @@ class Supervisor:
             self.backoff_cap, self.backoff_base * (2.0 ** handle.consecutive_failures)
         )
         handle.consecutive_failures += 1
-        handle.retry_at = loop.time() + backoff
+        handle.retry_at = self._now(loop) + backoff
         self._notify_down(handle)
 
     async def _try_restart(self, handle: WorkerHandle, loop) -> None:
@@ -312,7 +363,7 @@ class Supervisor:
             )
             handle.consecutive_failures += 1
             handle.state = "down"
-            handle.retry_at = loop.time() + backoff
+            handle.retry_at = self._now(loop) + backoff
         else:
             handle.restarts += 1
 

@@ -137,18 +137,28 @@ def instantiate_script(
 # The LRU itself
 # ---------------------------------------------------------------------------
 class ScriptCache:
-    """Bounded, thread-safe LRU of canonical script payloads."""
+    """Bounded, thread-safe LRU of canonical script payloads.
 
-    def __init__(self, capacity: int = 256) -> None:
+    ``faults`` optionally takes an armed
+    :class:`~repro.simtest.faults.FaultInjector`; a due
+    ``corrupt_cache_entry`` fault makes the next hit behave as if the
+    stored payload failed integrity checking — the entry is dropped and
+    the lookup misses, so the caller recomputes (the cache self-heals
+    rather than serving a poisoned script). ``None`` is a no-op.
+    """
+
+    def __init__(self, capacity: int = 256, faults: Optional[Any] = None) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self._faults = faults
         self._entries: "OrderedDict[CacheKey, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.puts = 0
+        self.corruptions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -161,6 +171,14 @@ class ScriptCache:
             if payload is None:
                 self.misses += 1
                 return None
+            if self._faults is not None:
+                fault = self._faults.fire("corrupt_cache_entry", target=key[0])
+                if fault is not None:
+                    # Poisoned entry: drop it and miss, forcing a recompute.
+                    del self._entries[key]
+                    self.corruptions += 1
+                    self.misses += 1
+                    return None
             self._entries.move_to_end(key)
             self.hits += 1
             return payload
@@ -190,6 +208,7 @@ class ScriptCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "puts": self.puts,
+                "corruptions": self.corruptions,
             }
 
     # ------------------------------------------------------------------

@@ -11,8 +11,10 @@ operations emitted, and wall-time percentiles. Everything is thread-safe
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+import time
+from typing import Callable, Dict, List, Optional
 
+from ..simtest.clock import monotonic_callable
 from ..verify.oracles import VerifyReport
 
 #: Counter names the engine maintains; unknown names are allowed (the
@@ -40,7 +42,11 @@ class LatencyHistogram:
     window, which is the standard recent-window approximation.
     """
 
-    def __init__(self, max_samples: int = 4096) -> None:
+    def __init__(
+        self,
+        max_samples: int = 4096,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         if max_samples < 1:
             raise ValueError("max_samples must be >= 1")
         self._max = max_samples
@@ -48,8 +54,18 @@ class LatencyHistogram:
         self._next = 0  # ring cursor once the window is full
         self.count = 0
         self.total = 0.0
+        self._clock = clock if clock is not None else time.monotonic
+        #: Monotonic stamps of the first/last observation (None until one
+        #: lands) — under an injected clock these are virtual times, which
+        #: is how the simulation harness asserts *when* latency was seen.
+        self.first_at: Optional[float] = None
+        self.last_at: Optional[float] = None
 
     def observe(self, value: float) -> None:
+        now = self._clock()
+        if self.first_at is None:
+            self.first_at = now
+        self.last_at = now
         self.count += 1
         self.total += value
         if len(self._samples) < self._max:
@@ -83,11 +99,14 @@ class ServiceMetrics:
     :meth:`stage_listener` to a :class:`~repro.pipeline.DiffPipeline`.
     """
 
-    def __init__(self, max_samples: int = 4096) -> None:
+    def __init__(self, max_samples: int = 4096, clock: Optional[object] = None) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {name: 0 for name in STANDARD_COUNTERS}
         self._max_samples = max_samples
-        self.wall_ms = LatencyHistogram(max_samples)
+        # Accepts a Clock object or a bare () -> float monotonic callable;
+        # drives the first_at/last_at stamps on every histogram.
+        self._clock = monotonic_callable(clock)
+        self.wall_ms = LatencyHistogram(max_samples, clock=self._clock)
         self._stages: Dict[str, LatencyHistogram] = {}
         self.verify = VerifyReport()
 
@@ -108,7 +127,9 @@ class ServiceMetrics:
         with self._lock:
             histogram = self._stages.get(stage)
             if histogram is None:
-                histogram = self._stages[stage] = LatencyHistogram(self._max_samples)
+                histogram = self._stages[stage] = LatencyHistogram(
+                    self._max_samples, clock=self._clock
+                )
             histogram.observe(milliseconds)
 
     def stage_listener(self):
@@ -148,9 +169,20 @@ class ServiceMetrics:
     def reset(self) -> None:
         with self._lock:
             self._counters = {name: 0 for name in STANDARD_COUNTERS}
-            self.wall_ms = LatencyHistogram(self.wall_ms._max)
+            self.wall_ms = LatencyHistogram(self.wall_ms._max, clock=self._clock)
             self._stages = {}
             self.verify = VerifyReport()
+
+    def timestamps(self) -> Dict[str, Optional[float]]:
+        """First/last observation stamps (clock-relative, virtual under sim)."""
+        with self._lock:
+            out: Dict[str, Optional[float]] = {
+                "wall_first_at": self.wall_ms.first_at,
+                "wall_last_at": self.wall_ms.last_at,
+            }
+            for name, hist in sorted(self._stages.items()):
+                out[f"{name}_last_at"] = hist.last_at
+            return out
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:

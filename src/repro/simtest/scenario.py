@@ -1,0 +1,961 @@
+"""The scenario runner: a simulated cluster under virtual time.
+
+This is deterministic simulation testing for the serve/cluster stack. The
+topology is in-process — no sockets, no subprocesses — but deliberately
+*not* a mock of the interesting code: every simulated worker runs the real
+:class:`~repro.serve.admission.AdmissionController` (bounded queue, token
+buckets, deadlines), the real :class:`~repro.service.metrics.ServiceMetrics`
+and :class:`~repro.service.cache.ScriptCache`; the cluster routes with the
+real :class:`~repro.serve.router.HashRing` + :func:`~repro.serve.router
+.affinity_key` and mirrors the router's replay-along-the-chain failover;
+and the simulated client *is* :class:`~repro.serve.client.DiffServiceClient`
+with only its socket transport overridden — so the retry policy under test
+is the production one, byte for byte.
+
+A :class:`Scenario` is a scripted timeline (requests, kills, drains,
+slot-occupancy, clock jumps) plus a seeded
+:class:`~repro.simtest.faults.FaultPlan`. :func:`run_scenario` replays it
+under a :class:`~repro.simtest.clock.SimClock`, checks the declarative
+invariants after every step and at the end, and returns a
+:class:`ScenarioResult` whose event log is byte-identical for a given
+scenario + seed. :func:`shrink_plan` greedily removes faults while the
+failure persists — the same minimization discipline as
+:func:`repro.verify.fuzz.shrink_pair` — turning a 12-fault nightly seed
+into a minimal repro.
+
+Invariants (select per scenario via ``Scenario.invariants``):
+
+``no_failure_with_replacement``
+    A client-visible connection-type or no-backend failure while the ring
+    held a live replacement (and the cluster was not draining) is a bug —
+    failover or retries should have absorbed it.
+``retry_discipline``
+    Attempts never exceed ``1 + retries + connect_retries``; every backoff
+    sleep respects the server's Retry-After floor (capped by
+    ``max_retry_after``) and never exceeds ``max(backoff_cap,
+    max_retry_after)``.
+``drain_integrity``
+    A request admitted before the drain completes with 200; requests first
+    dispatched while draining never succeed; no admission slot is leaked
+    (in-flight returns to exactly the occupied count after every step and
+    to zero at the end).
+``metrics_conservation``
+    Per worker incarnation, ``jobs_submitted == jobs_succeeded +
+    jobs_timed_out + jobs_failed``; the cross-incarnation merge via the
+    real :func:`~repro.service.metrics.merge_snapshots` preserves the
+    sums; and workers report at least as many successes as clients saw.
+``convergence``
+    Every scripted request eventually succeeded (retries absorbed all
+    injected trouble).
+``failures_only_while_ring_empty``
+    Any failed request must have observed a moment with zero live workers.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..serve.admission import AdmissionController
+from ..serve.client import DiffServiceClient, ServiceError
+from ..serve.router import HashRing, affinity_key
+from ..service.cache import ScriptCache
+from ..service.metrics import ServiceMetrics, merge_snapshots
+from .clock import SimClock
+from .events import EventLog
+from .faults import FaultInjector, FaultPlan
+
+#: Stride mixed into per-client rng seeds (mirrors verify.fuzz).
+_SEED_STRIDE = 1_000_003
+
+
+def derive_rng(seed: int, name: str) -> random.Random:
+    """A deterministic, platform-stable rng for one named participant."""
+    return random.Random((seed * _SEED_STRIDE) ^ zlib.crc32(name.encode("utf-8")))
+
+
+# ---------------------------------------------------------------------------
+# Scripted timeline
+# ---------------------------------------------------------------------------
+@dataclass
+class Step:
+    """One timeline entry, executed when virtual time reaches ``at``."""
+
+    at: float
+    action: str  #: request | kill | restart | drain | occupy | jump
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Scenario:
+    """A complete scripted run: topology, timeline, fault plan, invariants."""
+
+    name: str
+    seed: int = 0
+    workers: int = 3
+    replicas: int = 16
+    queue_capacity: int = 8
+    rate: float = 0.0
+    burst: float = 10.0
+    default_deadline_ms: float = 30_000.0
+    service_time: float = 0.004
+    hit_factor: float = 0.25  #: cache-hit service time multiplier
+    cache_capacity: int = 64
+    health_interval: float = 0.5
+    backoff_base: float = 0.25
+    backoff_cap: float = 2.0
+    auto_restart: bool = True
+    client: Dict[str, Any] = field(default_factory=dict)  #: client kwargs
+    steps: List[Step] = field(default_factory=list)
+    plan: Optional[FaultPlan] = None
+    invariants: Tuple[str, ...] = (
+        "retry_discipline",
+        "drain_integrity",
+        "metrics_conservation",
+    )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "workers": self.workers,
+            "steps": len(self.steps),
+            "faults": self.plan.describe() if self.plan else [],
+            "invariants": list(self.invariants),
+        }
+
+
+@dataclass
+class RequestRecord:
+    """The client-side outcome of one scripted request."""
+
+    index: int
+    at: float
+    client: str
+    path: str
+    doc: Optional[str]
+    status: Optional[int] = None  #: final 2xx status, None on failure
+    error_kind: Optional[str] = None  #: payload "error" of the failure
+    error_status: Optional[int] = None
+    attempts: int = 0
+    sleeps: List[float] = field(default_factory=list)
+    hints: List[Dict[str, Any]] = field(default_factory=list)
+    worker: Optional[str] = None  #: X-Worker-Id that served the success
+    draining_at_start: bool = False
+    live_at_end: int = 0
+    min_live_seen: Optional[int] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error_kind is not None
+
+
+# ---------------------------------------------------------------------------
+# Simulated topology
+# ---------------------------------------------------------------------------
+class SimWorker:
+    """One in-process worker shard: real admission, metrics, and cache.
+
+    A *crash* retires the current incarnation — its metrics snapshot
+    (in-flight work counted as ``jobs_failed``, exactly what a dead
+    process loses) is kept for the conservation invariant, and a restart
+    brings up a fresh admission controller and a **cold** cache, just like
+    a respawned subprocess.
+    """
+
+    def __init__(self, worker_id: str, spec: Scenario, clock: SimClock,
+                 faults: Optional[FaultInjector], log: EventLog) -> None:
+        self.worker_id = worker_id
+        self.spec = spec
+        self.clock = clock
+        self.faults = faults
+        self.log = log
+        self.state = "up"  #: up | crashed
+        self.incarnation = 0
+        self.occupied = 0  #: slots held by scripted occupiers
+        self.occupier_successes = 0  #: released slots, across incarnations
+        self.retired: List[Dict[str, Any]] = []  #: snapshots of dead incarnations
+        self._fresh_incarnation()
+
+    def _fresh_incarnation(self) -> None:
+        self.metrics = ServiceMetrics(clock=self.clock)
+        self.admission = AdmissionController(
+            queue_capacity=self.spec.queue_capacity,
+            rate=self.spec.rate,
+            burst=self.spec.burst,
+            default_deadline_ms=self.spec.default_deadline_ms,
+            mean_wall_ms=lambda: self.metrics.wall_ms.mean(),
+            clock=self.clock,
+        )
+        self.cache = ScriptCache(capacity=self.spec.cache_capacity, faults=self.faults)
+        self.occupied = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def crash(self) -> None:
+        if self.state == "crashed":
+            return
+        lost = self.admission.in_flight
+        if lost:
+            # Work that dies with the process: terminally failed.
+            self.metrics.incr("jobs_failed", lost)
+        self.state = "crashed"
+        self.retired.append(self.snapshot())
+        self.log.emit(
+            "worker_crash", self.clock.monotonic(),
+            worker=self.worker_id, incarnation=self.incarnation, lost_in_flight=lost,
+        )
+
+    def restart(self) -> None:
+        self.incarnation += 1
+        self._fresh_incarnation()
+        self.state = "up"
+        self.log.emit(
+            "worker_up", self.clock.monotonic(),
+            worker=self.worker_id, incarnation=self.incarnation,
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        snap = self.metrics.snapshot()
+        snap["cache"] = self.cache.stats()
+        return snap
+
+    # -- scripted occupancy (stands in for concurrent long jobs) -------
+    def occupy(self, slots: int, hold_s: float) -> int:
+        """Grab *slots* admission slots, releasing them after ``hold_s``."""
+        taken = 0
+        incarnation = self.incarnation
+        for index in range(slots):
+            decision = self.admission.try_admit(f"occupier-{self.worker_id}-{index}")
+            if not decision.admitted:
+                break
+            taken += 1
+            self.occupied += 1
+            self.metrics.incr("jobs_submitted")
+
+            def _release() -> None:
+                if self.incarnation != incarnation or self.state == "crashed":
+                    return  # the crash already accounted for this slot
+                self.occupied -= 1
+                self.occupier_successes += 1
+                self.metrics.incr("jobs_succeeded")
+                self.admission.release()
+
+            self.clock.call_later(hold_s, _release)
+        return taken
+
+    # -- request handling ----------------------------------------------
+    def handle(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if self.state != "up":
+            raise ConnectionRefusedError(111, f"{self.worker_id} is down")
+        if self.faults is not None:
+            if self.faults.fire("conn_refused", target=self.worker_id):
+                raise ConnectionRefusedError(
+                    111, f"injected conn_refused at {self.worker_id}"
+                )
+        try:
+            data = json.loads(body.decode("utf-8")) if body else {}
+        except ValueError:
+            return 400, {"error": "bad_json", "message": "unparseable body"}, {}
+        client = headers.get("x-client-id", "anon")
+        doc = str(data.get("id", ""))
+
+        decision = self.admission.try_admit(client)
+        if not decision.admitted:
+            self.metrics.incr(f"rejected_{decision.reason}")
+            return (
+                429,
+                {
+                    "error": decision.reason,
+                    "retry_after_s": decision.retry_after,
+                    "message": f"{self.worker_id} refused admission",
+                },
+                {"Retry-After": str(max(1, int(decision.retry_after + 0.999)))},
+            )
+
+        incarnation = self.incarnation
+        metrics, admission, cache = self.metrics, self.admission, self.cache
+        metrics.incr("jobs_submitted")
+        deadline = admission.deadline(data.get("deadline_ms"))
+        started = self.clock.monotonic()
+        try:
+            if deadline.expired:
+                # The whole budget went to queueing (or a clock jump ate it).
+                metrics.incr("jobs_timed_out")
+                return 504, {"error": "deadline_exceeded", "message": ""}, {}
+
+            service = self.spec.service_time
+            key = (doc or "anon", doc or "anon", "sim")
+            hit = cache.get(key) if data.get("cacheable", True) and doc else None
+            if hit is not None:
+                metrics.incr("cache_hits")
+                service *= self.spec.hit_factor
+            elif doc:
+                metrics.incr("cache_misses")
+            if self.faults is not None:
+                fault = self.faults.fire("slow_response", target=self.worker_id)
+                if fault is not None:
+                    service += fault.magnitude
+
+            crash_fault = (
+                self.faults.fire("worker_crash", target=self.worker_id)
+                if self.faults is not None
+                else None
+            )
+            if crash_fault is not None:
+                # Die halfway through the service time, losing the request.
+                self.clock.sleep(service * 0.5)
+                self.crash()
+                raise ConnectionResetError(
+                    104, f"{self.worker_id} crashed mid-request"
+                )
+
+            # Timers may fire inside this sleep (scripted kills, drains,
+            # occupier releases) — re-check our incarnation afterwards.
+            self.clock.sleep(service)
+            if self.incarnation != incarnation or self.state != "up":
+                raise ConnectionResetError(
+                    104, f"{self.worker_id} crashed mid-request"
+                )
+
+            if deadline.expired:
+                metrics.incr("jobs_timed_out")
+                return 504, {"error": "deadline_exceeded", "message": ""}, {}
+            if hit is None and doc and data.get("cacheable", True):
+                cache.put(key, {"records": [], "doc": doc})
+            metrics.incr("jobs_succeeded")
+            metrics.observe_wall((self.clock.monotonic() - started) * 1000.0)
+            return (
+                200,
+                {"id": doc, "worker": self.worker_id, "cache": bool(hit)},
+                {},
+            )
+        finally:
+            if self.incarnation == incarnation and self.state == "up":
+                admission.release()
+            # else: the crash snapshot already counted this slot as failed.
+
+
+class SimCluster:
+    """The routing layer of the sim: real ring, replayed failover.
+
+    Mirrors :meth:`repro.serve.router.Router._proxy` — affinity key, chain
+    walk, replay on connection-type failure, suspect feedback pulling a
+    crashed worker off the ring and arming a capped-backoff restart timer
+    (the supervisor's job in production, a ``SimClock`` timer here). A
+    scripted ``kill`` crashes the process immediately but removes it from
+    the ring only when *noticed* — by a failed dispatch or by the next
+    health tick — preserving the detection window that makes failover
+    scenarios interesting.
+    """
+
+    def __init__(self, spec: Scenario, clock: SimClock,
+                 faults: Optional[FaultInjector], log: EventLog) -> None:
+        self.spec = spec
+        self.clock = clock
+        self.faults = faults
+        self.log = log
+        self.ring = HashRing(replicas=spec.replicas)
+        self.workers: Dict[str, SimWorker] = {}
+        for index in range(spec.workers):
+            worker_id = f"w{index}"
+            self.workers[worker_id] = SimWorker(worker_id, spec, clock, faults, log)
+            self.ring.add(worker_id)
+        self.draining = False
+        self.counters: Dict[str, int] = {}
+        self._min_live_probe: Optional[List[int]] = None
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def live_count(self) -> int:
+        return len(self.ring)
+
+    def in_flight_total(self) -> int:
+        return sum(
+            w.admission.in_flight for w in self.workers.values() if w.state == "up"
+        )
+
+    def occupied_total(self) -> int:
+        return sum(w.occupied for w in self.workers.values() if w.state == "up")
+
+    # -- worker lifecycle ----------------------------------------------
+    def kill(self, worker_id: str) -> None:
+        worker = self.workers[worker_id]
+        worker.crash()
+        # Detection: the next health tick notices the corpse even if no
+        # request trips over it first.
+        self.clock.call_later(
+            self.spec.health_interval, self._health_check, worker_id
+        )
+
+    def _health_check(self, worker_id: str) -> None:
+        worker = self.workers[worker_id]
+        if worker.state == "crashed" and worker_id in self.ring:
+            self._mark_down(worker_id)
+
+    def suspect(self, worker_id: str) -> None:
+        """Router feedback after a failed dispatch (production path)."""
+        worker = self.workers[worker_id]
+        if worker.state == "crashed" and worker_id in self.ring:
+            self._mark_down(worker_id)
+
+    def _mark_down(self, worker_id: str) -> None:
+        self.ring.remove(worker_id)
+        self._count("workers_down")
+        self.log.emit(
+            "worker_down", self.clock.monotonic(),
+            worker=worker_id, live=self.ring.members(),
+        )
+        if self.spec.auto_restart:
+            worker = self.workers[worker_id]
+            backoff = min(
+                self.spec.backoff_cap,
+                self.spec.backoff_base * (2.0 ** min(worker.incarnation, 16)),
+            )
+            self.clock.call_later(backoff, self._restart, worker_id)
+
+    def _restart(self, worker_id: str) -> None:
+        worker = self.workers[worker_id]
+        if self.draining or worker.state != "crashed":
+            return
+        worker.restart()
+        self.ring.add(worker_id)
+        self._count("restarts")
+
+    def restart_now(self, worker_id: str) -> None:
+        """Scripted restart (timeline action), bypassing the backoff."""
+        worker = self.workers[worker_id]
+        if worker.state == "crashed":
+            if worker_id in self.ring:
+                self.ring.remove(worker_id)
+            worker.restart()
+            self.ring.add(worker_id)
+            self._count("restarts")
+
+    def drain(self) -> None:
+        self.draining = True
+        self.log.emit(
+            "drain_start", self.clock.monotonic(), in_flight=self.in_flight_total()
+        )
+
+    # -- dispatch (the router's _proxy, in-process) ---------------------
+    def dispatch(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        self._count("requests")
+        self._note_live()
+        if path == "/healthz":
+            return 200, self.health_payload(), {}
+        if path == "/metrics":
+            return 200, self.merged_metrics(), {}
+        if self.draining:
+            self._count("rejected_draining")
+            return (
+                503,
+                {"error": "draining", "retry_after_s": 1.0,
+                 "message": "cluster is draining"},
+                {"Retry-After": "1"},
+            )
+        key = affinity_key(path, headers, body)
+        chain = self.ring.assign_chain(key)
+        for position, worker_id in enumerate(chain):
+            worker = self.workers[worker_id]
+            try:
+                status, payload, extra = worker.handle(method, path, headers, body)
+            except (ConnectionRefusedError, ConnectionResetError) as exc:
+                self._count("proxy_failovers")
+                self.log.emit(
+                    "failover", self.clock.monotonic(),
+                    worker=worker_id, position=position, error=type(exc).__name__,
+                )
+                self.suspect(worker_id)
+                self._note_live()
+                continue
+            self._count("proxied")
+            if position > 0:
+                self._count("proxied_rerouted")
+            extra = dict(extra)
+            extra["X-Worker-Id"] = worker_id
+            return status, payload, extra
+        self._count("rejected_no_backend")
+        self._note_live()
+        return (
+            503,
+            {"error": "no_backend", "retry_after_s": 0.5,
+             "message": "no worker could serve the request"},
+            {"Retry-After": "1"},
+        )
+
+    def _note_live(self) -> None:
+        if self._min_live_probe is not None:
+            self._min_live_probe[0] = min(self._min_live_probe[0], len(self.ring))
+
+    def health_payload(self) -> Dict[str, Any]:
+        up = self.ring.members()
+        return {
+            "status": "draining" if self.draining
+            else ("ok" if len(up) == len(self.workers) else "degraded"),
+            "workers_up": len(up),
+            "live": up,
+            "protocol": "repro-serve/1",
+        }
+
+    def all_snapshots(self) -> Dict[str, Dict[str, Any]]:
+        """Every incarnation's metrics, retired and live (``w0@0``, ``w0``…)."""
+        dumps: Dict[str, Dict[str, Any]] = {}
+        for worker_id, worker in sorted(self.workers.items()):
+            for index, retired in enumerate(worker.retired):
+                dumps[f"{worker_id}@{index}"] = retired
+            if worker.state == "up":
+                dumps[worker_id] = worker.snapshot()
+        return dumps
+
+    def merged_metrics(self) -> Dict[str, Any]:
+        merged = merge_snapshots(self.all_snapshots())
+        merged["cluster"] = {
+            "router": dict(sorted(self.counters.items())),
+            "live_workers": self.ring.members(),
+            "draining": self.draining,
+        }
+        return merged
+
+
+class SimServiceClient(DiffServiceClient):
+    """The production client with its socket transport swapped for dispatch.
+
+    Everything above ``request_once`` — backoff, jitter, Retry-After
+    floors, the separate connection-refused budget — is inherited
+    unchanged; the client-leg injection points fire here exactly where the
+    real transport checks them.
+    """
+
+    def __init__(self, cluster: SimCluster, clock: SimClock, name: str,
+                 rng: random.Random, faults: Optional[FaultInjector] = None,
+                 **kwargs: Any) -> None:
+        super().__init__(
+            host="sim", port=0, client_id=name, clock=clock, rng=rng, **kwargs
+        )
+        self._cluster = cluster
+        self._leg_faults = faults
+        self.attempt_log: List[Dict[str, Any]] = []
+
+    def request_once(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        target = f"{self.host}:{self.port}"
+        if self._leg_faults is not None:
+            if self._leg_faults.fire("conn_refused", target=target):
+                self.attempt_log.append({"exc": "ConnectionRefusedError"})
+                raise ConnectionRefusedError(111, f"injected conn_refused to {target}")
+        headers = {"accept": "application/json"}
+        if self.client_id is not None:
+            headers["x-client-id"] = self.client_id
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        status, decoded, extra = self._cluster.dispatch(method, path, headers, body)
+        if self._leg_faults is not None:
+            # After dispatch: the worker did the work, the response is lost.
+            if self._leg_faults.fire("conn_reset_mid_body", target=target):
+                self.attempt_log.append({"exc": "ConnectionResetError"})
+                raise ConnectionResetError(104, f"injected reset from {target}")
+            fault = self._leg_faults.fire("slow_response", target=target)
+            if fault is not None:
+                self._sleep(fault.magnitude)
+        self.attempt_log.append(
+            {"status": status, "hint": self._retry_after_hint(decoded, extra)}
+        )
+        return status, decoded, dict(extra)
+
+
+# ---------------------------------------------------------------------------
+# Result + runner
+# ---------------------------------------------------------------------------
+@dataclass
+class ScenarioResult:
+    name: str
+    seed: int
+    violations: List[str]
+    records: List[RequestRecord]
+    log: EventLog
+    stats: Dict[str, Any]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def event_jsonl(self) -> str:
+        return self.log.to_jsonl()
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "ok": self.ok,
+            "violations": list(self.violations),
+            "requests": len(self.records),
+            "failed_requests": sum(1 for r in self.records if r.failed),
+            "events": len(self.log),
+            "stats": self.stats,
+        }
+
+
+class _Run:
+    """Mutable state shared by the runner and the invariants."""
+
+    def __init__(self, spec: Scenario) -> None:
+        self.spec = spec
+        self.clock = SimClock()
+        self.log = EventLog()
+        self.injector = (
+            FaultInjector(
+                plan=spec.plan.clone(), clock=self.clock, log=self.log
+            )
+            if spec.plan is not None
+            else None
+        )
+        self.cluster = SimCluster(spec, self.clock, self.injector, self.log)
+        self.clients: Dict[str, SimServiceClient] = {}
+        self.records: List[RequestRecord] = []
+        self.violations: List[str] = []
+        self.drained_at: Optional[float] = None
+
+    def client(self, name: str) -> SimServiceClient:
+        client = self.clients.get(name)
+        if client is None:
+            client = SimServiceClient(
+                self.cluster,
+                self.clock,
+                name,
+                rng=derive_rng(self.spec.seed, name),
+                faults=self.injector,
+                **self.spec.client,
+            )
+            self.clients[name] = client
+        return client
+
+
+def run_scenario(spec: Scenario) -> ScenarioResult:
+    """Replay *spec* under virtual time; deterministic per (scenario, seed)."""
+    run = _Run(spec)
+    clock, cluster, log = run.clock, run.cluster, run.log
+    log.emit("scenario_start", 0.0, **spec.describe())
+
+    for index, step in enumerate(sorted(spec.steps, key=lambda s: s.at)):
+        if run.injector is not None:
+            jump = run.injector.fire("clock_jump")
+            if jump is not None:
+                clock.jump(jump.magnitude)
+                log.emit("clock_jump", clock.monotonic(), magnitude=jump.magnitude)
+        if step.at > clock.monotonic():
+            clock.sleep(step.at - clock.monotonic())
+        log.emit("step", clock.monotonic(), index=index, action=step.action,
+                 **{k: v for k, v in step.kwargs.items() if k != "payload"})
+        _execute_step(run, index, step)
+        _check_step_invariants(run, index, step)
+
+    # Let restart backoffs and occupier releases play out.
+    clock.run_until_idle()
+    for name in spec.invariants:
+        checker = INVARIANTS.get(name)
+        if checker is None:
+            run.violations.append(f"unknown invariant {name!r}")
+            continue
+        run.violations.extend(checker(run))
+
+    stats = {
+        "cluster": dict(sorted(cluster.counters.items())),
+        "live_workers": cluster.ring.members(),
+        "virtual_elapsed_s": round(clock.elapsed, 9),
+        "timers_fired": clock.fired,
+        "faults_fired": len(run.injector.fired) if run.injector else 0,
+        "cache": {
+            worker_id: worker.cache.stats()
+            for worker_id, worker in sorted(cluster.workers.items())
+        },
+        "merged_counters": merge_snapshots(cluster.all_snapshots())["counters"],
+    }
+    log.emit(
+        "scenario_end", clock.monotonic(),
+        ok=not run.violations, violations=run.violations,
+    )
+    return ScenarioResult(
+        name=spec.name,
+        seed=spec.seed,
+        violations=run.violations,
+        records=run.records,
+        log=log,
+        stats=stats,
+    )
+
+
+def _execute_step(run: _Run, index: int, step: Step) -> None:
+    cluster, clock = run.cluster, run.clock
+    kwargs = step.kwargs
+    if step.action == "request":
+        _run_request(run, index, step)
+    elif step.action == "kill":
+        cluster.kill(kwargs["worker"])
+    elif step.action == "restart":
+        cluster.restart_now(kwargs["worker"])
+    elif step.action == "drain":
+        cluster.drain()
+        run.drained_at = clock.monotonic()
+    elif step.action == "occupy":
+        taken = cluster.workers[kwargs["worker"]].occupy(
+            kwargs.get("slots", 1), kwargs.get("hold_s", 1.0)
+        )
+        run.log.emit(
+            "occupy", clock.monotonic(), worker=kwargs["worker"], taken=taken
+        )
+    elif step.action == "jump":
+        clock.jump(kwargs.get("seconds", 0.0))
+        run.log.emit("clock_jump", clock.monotonic(),
+                     magnitude=kwargs.get("seconds", 0.0))
+    else:
+        raise ValueError(f"unknown step action {step.action!r}")
+
+
+def _run_request(run: _Run, index: int, step: Step) -> None:
+    kwargs = step.kwargs
+    client = run.client(kwargs.get("client", "c0"))
+    path = kwargs.get("path", "/v1/diff")
+    doc = kwargs.get("doc")
+    payload: Dict[str, Any] = {"id": doc, "sim": True}
+    if kwargs.get("deadline_ms") is not None:
+        payload["deadline_ms"] = kwargs["deadline_ms"]
+    if kwargs.get("cacheable") is not None:
+        payload["cacheable"] = kwargs["cacheable"]
+
+    record = RequestRecord(
+        index=index,
+        at=run.clock.monotonic(),
+        client=client.client_id or "c0",
+        path=path,
+        doc=doc,
+        draining_at_start=run.cluster.draining,
+    )
+    sleeps_before = len(client.sleeps)
+    attempts_before = len(client.attempt_log)
+    probe = [run.cluster.live_count()]
+    run.cluster._min_live_probe = probe
+    try:
+        decoded = client.request("POST", path, payload)
+    except ServiceError as exc:
+        record.error_kind = exc.payload.get("error", "error")
+        record.error_status = exc.status
+        record.attempts = exc.attempts
+    else:
+        record.status = 200
+        record.worker = decoded.get("worker")
+        record.attempts = len(client.attempt_log) - attempts_before
+    finally:
+        run.cluster._min_live_probe = None
+    record.sleeps = client.sleeps[sleeps_before:]
+    record.hints = client.attempt_log[attempts_before:]
+    record.live_at_end = run.cluster.live_count()
+    record.min_live_seen = probe[0]
+    run.records.append(record)
+    run.log.emit(
+        "request_end", run.clock.monotonic(),
+        index=index, client=record.client, doc=doc,
+        status=record.status, error=record.error_kind,
+        attempts=record.attempts, worker=record.worker,
+        sleeps=record.sleeps,
+    )
+
+
+def _check_step_invariants(run: _Run, index: int, step: Step) -> None:
+    """Checks that must hold at every step boundary, not just at the end."""
+    cluster = run.cluster
+    in_flight = cluster.in_flight_total()
+    occupied = cluster.occupied_total()
+    if in_flight != occupied:
+        run.violations.append(
+            f"step {index} ({step.action}): leaked admission slot — "
+            f"in_flight={in_flight} but occupied={occupied}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Invariants
+# ---------------------------------------------------------------------------
+def _inv_no_failure_with_replacement(run: _Run) -> List[str]:
+    out = []
+    for record in run.records:
+        if not record.failed or record.draining_at_start:
+            continue
+        if record.error_kind not in ("connection", "no_backend", "unreachable"):
+            continue  # 4xx/504/draining failures are judged by other invariants
+        if record.live_at_end >= 1 and not run.cluster.draining:
+            out.append(
+                f"request {record.index} ({record.doc}): client-visible "
+                f"{record.error_kind} failure with {record.live_at_end} live "
+                f"worker(s) on the ring"
+            )
+    return out
+
+
+def _inv_retry_discipline(run: _Run) -> List[str]:
+    out = []
+    for record in run.records:
+        client = run.clients[record.client]
+        budget = 1 + client.retries + client.connect_retries
+        if record.attempts > budget:
+            out.append(
+                f"request {record.index}: {record.attempts} attempts exceeds "
+                f"budget {budget}"
+            )
+        ceiling = max(client.backoff_cap, client.max_retry_after) + 1e-9
+        for position, delay in enumerate(record.sleeps):
+            if delay > ceiling:
+                out.append(
+                    f"request {record.index}: sleep {position} = {delay:.3f}s "
+                    f"exceeds ceiling {ceiling:.3f}s"
+                )
+            attempt = record.hints[position] if position < len(record.hints) else {}
+            hint = attempt.get("hint", 0.0) or 0.0
+            floor = min(hint, client.max_retry_after)
+            if floor > 0 and delay + 1e-9 < floor:
+                out.append(
+                    f"request {record.index}: sleep {position} = {delay:.3f}s "
+                    f"undercuts Retry-After floor {floor:.3f}s"
+                )
+    return out
+
+
+def _inv_drain_integrity(run: _Run) -> List[str]:
+    out = []
+    in_flight = run.cluster.in_flight_total()
+    if in_flight != run.cluster.occupied_total():
+        out.append(f"drain left {in_flight} request(s) in flight at scenario end")
+    for record in run.records:
+        if record.draining_at_start and record.status == 200:
+            out.append(
+                f"request {record.index} was first dispatched while draining "
+                f"but succeeded"
+            )
+    return out
+
+
+def _inv_metrics_conservation(run: _Run) -> List[str]:
+    out = []
+    snapshots = run.cluster.all_snapshots()
+    totals = {"jobs_submitted": 0, "jobs_succeeded": 0,
+              "jobs_timed_out": 0, "jobs_failed": 0}
+    for tag, snap in snapshots.items():
+        counters = snap["counters"]
+        submitted = counters.get("jobs_submitted", 0)
+        closed = (
+            counters.get("jobs_succeeded", 0)
+            + counters.get("jobs_timed_out", 0)
+            + counters.get("jobs_failed", 0)
+        )
+        if submitted != closed:
+            out.append(
+                f"{tag}: jobs_submitted={submitted} != "
+                f"succeeded+timed_out+failed={closed}"
+            )
+        for name in totals:
+            totals[name] += counters.get(name, 0)
+    merged = merge_snapshots(snapshots)["counters"]
+    for name, expected in totals.items():
+        if merged.get(name, 0) != expected:
+            out.append(
+                f"merge_snapshots lost counts: {name} merged={merged.get(name, 0)} "
+                f"expected={expected}"
+            )
+    client_successes = sum(
+        1 for r in run.records if r.status == 200 and r.path == "/v1/diff"
+    )
+    worker_successes = totals["jobs_succeeded"] - _occupier_successes(run)
+    if worker_successes < client_successes:
+        out.append(
+            f"workers report {worker_successes} successes but clients saw "
+            f"{client_successes}"
+        )
+    return out
+
+
+def _occupier_successes(run: _Run) -> int:
+    # Occupier jobs are pure admission ballast; their successes are the
+    # released slots (crashed occupiers were converted to jobs_failed).
+    return sum(w.occupier_successes for w in run.cluster.workers.values())
+
+
+def _inv_convergence(run: _Run) -> List[str]:
+    return [
+        f"request {record.index} ({record.doc}) failed: "
+        f"{record.error_kind} (HTTP {record.error_status}) "
+        f"after {record.attempts} attempts"
+        for record in run.records
+        if record.failed
+    ]
+
+
+def _inv_failures_only_while_ring_empty(run: _Run) -> List[str]:
+    out = []
+    for record in run.records:
+        if record.failed and (record.min_live_seen or 0) > 0:
+            out.append(
+                f"request {record.index} failed but never saw an empty ring "
+                f"(min live = {record.min_live_seen})"
+            )
+    return out
+
+
+INVARIANTS: Dict[str, Callable[[_Run], List[str]]] = {
+    "no_failure_with_replacement": _inv_no_failure_with_replacement,
+    "retry_discipline": _inv_retry_discipline,
+    "drain_integrity": _inv_drain_integrity,
+    "metrics_conservation": _inv_metrics_conservation,
+    "convergence": _inv_convergence,
+    "failures_only_while_ring_empty": _inv_failures_only_while_ring_empty,
+}
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+def shrink_plan(
+    spec: Scenario,
+    failing: Optional[Callable[[ScenarioResult], bool]] = None,
+) -> Tuple[Scenario, ScenarioResult]:
+    """Greedily minimize ``spec.plan`` while the scenario keeps failing.
+
+    Re-runs the scenario without one fault at a time (each run fully fresh
+    and deterministic) and keeps every removal that preserves the failure —
+    the same discipline as :func:`repro.verify.fuzz.shrink_pair`. Returns
+    the minimized scenario and its (still failing) result; a passing input
+    comes back untouched.
+    """
+    is_failing = failing if failing is not None else (lambda result: not result.ok)
+    result = run_scenario(spec)
+    if not is_failing(result) or spec.plan is None:
+        return spec, result
+    plan = spec.plan.clone()
+    progress = True
+    while progress and len(plan) > 0:
+        progress = False
+        for index in range(len(plan)):
+            candidate_plan = plan.without(index)
+            candidate = _with_plan(spec, candidate_plan)
+            trial = run_scenario(candidate)
+            if is_failing(trial):
+                plan = candidate_plan
+                result = trial
+                progress = True
+                break
+    final = _with_plan(spec, plan)
+    return final, run_scenario(final)
+
+
+def _with_plan(spec: Scenario, plan: FaultPlan) -> Scenario:
+    import dataclasses
+
+    return dataclasses.replace(spec, plan=plan.clone())

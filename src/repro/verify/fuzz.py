@@ -36,6 +36,7 @@ from ..core.tree import Tree
 from ..editscript.generator import _Generator
 from ..editscript.script import EditScript
 from ..matching.criteria import MatchConfig
+from ..simtest.clock import SYSTEM_CLOCK
 from ..workload.mutations import MutationEngine, MutationMix
 from ..workload.random_trees import (
     DEFAULT_WORDS,
@@ -91,6 +92,11 @@ class FuzzConfig:
     repro_dir: Optional[str] = None
     workloads: Tuple[str, ...] = WORKLOADS
     max_failures: int = 1
+    #: Optional wall-clock budget in seconds; the loop stops cleanly after
+    #: the iteration during which the budget runs out. Measured on the
+    #: injectable clock passed to :func:`run_fuzz`, so simulated runs can
+    #: exercise the cutoff without waiting.
+    time_budget_s: Optional[float] = None
 
 
 @dataclass
@@ -114,6 +120,9 @@ class FuzzReport:
     report: VerifyReport
     iterations_run: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
+    #: True when the run stopped on ``time_budget_s`` rather than finishing.
+    budget_exhausted: bool = False
+    elapsed_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -488,11 +497,25 @@ def run_fuzz(
     config: FuzzConfig,
     runner: Optional[Runner] = None,
     on_iteration: Optional[Callable[[int], None]] = None,
+    clock: Optional[Any] = None,
 ) -> FuzzReport:
-    """Run the seeded fuzz loop; deterministic for a given *config*."""
+    """Run the seeded fuzz loop; deterministic for a given *config*.
+
+    *clock* (a :class:`repro.simtest.clock.Clock`) is only read, never
+    slept on: it stamps ``elapsed_s`` and enforces ``time_budget_s``.
+    Pairs and oracles stay a pure function of the seed either way.
+    """
     runner = runner or default_runner
+    active_clock = clock if clock is not None else SYSTEM_CLOCK
+    started = active_clock.monotonic()
     fuzz_report = FuzzReport(report=VerifyReport())
     for i in range(config.iterations):
+        if (
+            config.time_budget_s is not None
+            and active_clock.monotonic() - started >= config.time_budget_s
+        ):
+            fuzz_report.budget_exhausted = True
+            break
         rng = iteration_rng(config.seed, i)
         workload = config.workloads[i % len(config.workloads)]
         t1, t2 = generate_pair(rng, workload, config.max_nodes)
@@ -538,4 +561,5 @@ def run_fuzz(
         fuzz_report.failures.append(failure)
         if len(fuzz_report.failures) >= config.max_failures:
             break
+    fuzz_report.elapsed_s = active_clock.monotonic() - started
     return fuzz_report

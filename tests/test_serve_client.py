@@ -1,9 +1,11 @@
 """Unit tests for the retrying client (repro.serve.client).
 
-The retry policy is exercised against a scripted stdlib HTTP stub (so the
-server's own admission logic is out of the picture) with an injected
-``sleep`` and a seeded RNG — every schedule assertion is deterministic and
-the tests never actually wait.
+The retry policy is exercised against an in-memory scripted transport
+under a :class:`~repro.simtest.clock.SimClock` — backoff waits advance
+virtual time instead of blocking, so every schedule assertion is
+deterministic and the tests spend zero wall-clock time sleeping. A real
+stdlib HTTP stub is kept only for the tests where the wire format itself
+(headers, body framing, keep-alive) is the thing under test.
 """
 
 import http.server
@@ -14,6 +16,7 @@ import threading
 import pytest
 
 from repro.serve.client import DiffServiceClient, ServiceError
+from repro.simtest.clock import SimClock
 
 
 class ScriptedStub:
@@ -59,7 +62,11 @@ class ScriptedStub:
 
         self.server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
         self.port = self.server.server_address[1]
-        self.thread = threading.Thread(target=self.server.serve_forever, daemon=True)
+        self.thread = threading.Thread(
+            # The tight poll keeps shutdown() latency out of the suite.
+            target=self.server.serve_forever, kwargs={"poll_interval": 0.02},
+            daemon=True,
+        )
         self.thread.start()
 
     def close(self):
@@ -95,14 +102,180 @@ def make_client(port, **overrides):
     return DiffServiceClient(**options)
 
 
+class ScriptedClient(DiffServiceClient):
+    """The production retry loop over an in-memory scripted transport.
+
+    Each entry is either ``(status, headers, body)`` or an exception
+    instance to raise; an exhausted script answers 200. ``request_once``
+    is the only thing replaced — the policy under test is untouched.
+    """
+
+    def __init__(self, responses, **overrides):
+        self.clock = SimClock()
+        options = dict(
+            port=0,
+            retries=3,
+            backoff_base=0.1,
+            backoff_cap=2.0,
+            clock=self.clock,  # backoff advances virtual time
+            rng=random.Random(42),
+        )
+        options.update(overrides)
+        super().__init__(**options)
+        self.responses = list(responses)
+        self.calls = []  # (method, path, payload) per attempt
+
+    def request_once(self, method, path, payload=None):
+        self.calls.append((method, path, payload))
+        entry = self.responses.pop(0) if self.responses else (200, {}, {"ok": True})
+        if isinstance(entry, Exception):
+            raise entry
+        status, headers, body = entry
+        return status, dict(body), dict(headers)
+
+
 class TestRetryPolicy:
-    def test_success_needs_no_retry(self, stub_factory):
-        stub = stub_factory([(200, {}, {"answer": 7})])
-        with make_client(stub.port) as client:
-            assert client.request("GET", "/healthz") == {"answer": 7}
+    def test_success_needs_no_retry(self):
+        client = ScriptedClient([(200, {}, {"answer": 7})])
+        assert client.request("GET", "/healthz") == {"answer": 7}
+        assert client.sleeps == []
+        assert client.clock.elapsed == 0.0
+
+    def test_429_retried_until_success(self):
+        client = ScriptedClient(
+            [(429, {}, {"error": "queue_full"})] * 2 + [(200, {}, {"done": True})]
+        )
+        assert client.request("POST", "/v1/diff", {"x": 1}) == {"done": True}
+        assert len(client.sleeps) == 2
+        assert len(client.calls) == 3
+        # The waits really elapsed — on the virtual clock.
+        assert client.clock.elapsed == pytest.approx(sum(client.sleeps))
+
+    def test_retry_after_header_is_a_floor(self):
+        client = ScriptedClient(
+            [(429, {"Retry-After": "2"}, {"error": "queue_full"}), (200, {}, {})]
+        )
+        client.request("POST", "/v1/diff", {})
+        # jitter alone would be < 0.2s on attempt 0; the server's ask wins
+        assert client.sleeps[0] >= 2.0
+
+    def test_retry_after_body_field_is_honored(self):
+        client = ScriptedClient(
+            [(429, {}, {"error": "queue_full", "retry_after_s": 0.75}), (200, {}, {})]
+        )
+        client.request("POST", "/v1/diff", {})
+        assert client.sleeps[0] >= 0.75
+
+    def test_server_cannot_park_the_client_forever(self):
+        client = ScriptedClient(
+            [(429, {"Retry-After": "3600"}, {"error": "queue_full"}), (200, {}, {})],
+            max_retry_after=5.0,
+        )
+        client.request("POST", "/v1/diff", {})
+        assert client.sleeps[0] <= 5.0
+
+    def test_5xx_is_retried(self):
+        client = ScriptedClient(
+            [(503, {}, {"error": "draining"}), (200, {}, {"up": 1})]
+        )
+        assert client.request("GET", "/metrics") == {"up": 1}
+
+    def test_hard_4xx_is_never_retried(self):
+        client = ScriptedClient([(400, {}, {"error": "bad_tree", "message": "nope"})])
+        with pytest.raises(ServiceError) as err:
+            client.request("POST", "/v1/diff", {})
+        assert err.value.status == 400
+        assert err.value.attempts == 1
+        assert len(client.calls) == 1
         assert client.sleeps == []
 
-    def test_429_retried_until_success(self, stub_factory):
+    def test_retries_exhausted_raises_with_last_payload(self):
+        client = ScriptedClient(
+            [(429, {}, {"error": "queue_full"})] * 10, retries=2
+        )
+        with pytest.raises(ServiceError) as err:
+            client.request("POST", "/v1/diff", {})
+        assert err.value.status == 429
+        assert err.value.attempts == 3
+        assert err.value.payload["error"] == "queue_full"
+        assert len(client.calls) == 3  # initial + 2 retries
+        assert len(client.sleeps) == 2  # no sleep after the last failure
+
+    def test_backoff_is_capped_exponential_with_jitter(self):
+        client = ScriptedClient(
+            [(500, {}, {"error": "internal"})] * 6,
+            retries=5, backoff_base=0.1, backoff_cap=0.5,
+        )
+        with pytest.raises(ServiceError):
+            client.request("GET", "/healthz")
+        assert len(client.sleeps) == 5
+        for attempt, delay in enumerate(client.sleeps):
+            assert 0.0 <= delay <= min(0.5, 0.1 * 2.0 ** attempt)
+        # the cap binds eventually: no sleep exceeds it
+        assert max(client.sleeps) <= 0.5
+
+    def test_connection_refused_is_retried_then_raised(self):
+        client = ScriptedClient(
+            [ConnectionRefusedError(111, "Connection refused")] * 10,
+            retries=2, connect_retries=0,
+        )
+        with pytest.raises(ServiceError) as err:
+            client.request("GET", "/healthz")
+        assert err.value.status == 0
+        assert err.value.payload["error"] == "connection"
+        assert len(client.sleeps) == 2
+
+    def test_connect_retries_budget_is_separate_and_flat(self):
+        # refused connects draw on connect_retries first (flat base-jitter
+        # sleeps), then on the main exponential budget
+        client = ScriptedClient(
+            [ConnectionRefusedError(111, "Connection refused")] * 10,
+            retries=2, connect_retries=3, backoff_base=0.1,
+        )
+        with pytest.raises(ServiceError) as err:
+            client.request("GET", "/healthz")
+        assert err.value.attempts == 1 + 3 + 2  # first + refused budget + retries
+        assert len(client.sleeps) == 5
+        # the refused-budget sleeps never escalate past the base window
+        for delay in client.sleeps[:3]:
+            assert 0.0 <= delay <= 0.1
+
+    def test_connect_retries_recovers_mid_restart(self):
+        # refused-then-up: the transparent budget hides a restart window
+        client = ScriptedClient(
+            [ConnectionRefusedError(111, "Connection refused")] * 2
+            + [(200, {}, {"ok": True})],
+            retries=0, connect_retries=4,
+        )
+        assert client.request("GET", "/healthz") == {"ok": True}
+        assert len(client.sleeps) == 2  # one per refused connect
+
+    def test_other_connection_errors_use_the_main_budget(self):
+        client = ScriptedClient(
+            [ConnectionResetError(104, "reset")] * 10,
+            retries=2, connect_retries=5,
+        )
+        with pytest.raises(ServiceError) as err:
+            client.request("GET", "/healthz")
+        # resets are NOT refused connects: the flat budget must not apply
+        assert err.value.attempts == 3
+
+    def test_jitter_schedule_is_deterministic_given_rng(self):
+        responses = [(500, {}, {"error": "x"})] * 4
+        a = ScriptedClient(list(responses), rng=random.Random(7))
+        b = ScriptedClient(list(responses), rng=random.Random(7))
+        with pytest.raises(ServiceError):
+            a.request("GET", "/healthz")
+        with pytest.raises(ServiceError):
+            b.request("GET", "/healthz")
+        assert a.sleeps == b.sleeps
+        assert a.clock.elapsed == b.clock.elapsed
+
+
+class TestWireTransport:
+    """The real HTTP leg: framing, headers, and keep-alive behavior."""
+
+    def test_retry_over_real_http(self, stub_factory):
         stub = stub_factory(
             [(429, {}, {"error": "queue_full"})] * 2 + [(200, {}, {"done": True})]
         )
@@ -111,70 +284,7 @@ class TestRetryPolicy:
         assert len(client.sleeps) == 2
         assert len(stub.requests) == 3
 
-    def test_retry_after_header_is_a_floor(self, stub_factory):
-        stub = stub_factory(
-            [(429, {"Retry-After": "2"}, {"error": "queue_full"}), (200, {}, {})]
-        )
-        with make_client(stub.port) as client:
-            client.request("POST", "/v1/diff", {})
-        # jitter alone would be < 0.2s on attempt 0; the server's ask wins
-        assert client.sleeps[0] >= 2.0
-
-    def test_retry_after_body_field_is_honored(self, stub_factory):
-        stub = stub_factory(
-            [(429, {}, {"error": "queue_full", "retry_after_s": 0.75}), (200, {}, {})]
-        )
-        with make_client(stub.port) as client:
-            client.request("POST", "/v1/diff", {})
-        assert client.sleeps[0] >= 0.75
-
-    def test_server_cannot_park_the_client_forever(self, stub_factory):
-        stub = stub_factory(
-            [(429, {"Retry-After": "3600"}, {"error": "queue_full"}), (200, {}, {})]
-        )
-        with make_client(stub.port, max_retry_after=5.0) as client:
-            client.request("POST", "/v1/diff", {})
-        assert client.sleeps[0] <= 5.0
-
-    def test_5xx_is_retried(self, stub_factory):
-        stub = stub_factory([(503, {}, {"error": "draining"}), (200, {}, {"up": 1})])
-        with make_client(stub.port) as client:
-            assert client.request("GET", "/metrics") == {"up": 1}
-
-    def test_hard_4xx_is_never_retried(self, stub_factory):
-        stub = stub_factory([(400, {}, {"error": "bad_tree", "message": "nope"})])
-        with make_client(stub.port) as client:
-            with pytest.raises(ServiceError) as err:
-                client.request("POST", "/v1/diff", {})
-        assert err.value.status == 400
-        assert err.value.attempts == 1
-        assert len(stub.requests) == 1
-        assert client.sleeps == []
-
-    def test_retries_exhausted_raises_with_last_payload(self, stub_factory):
-        stub = stub_factory([(429, {}, {"error": "queue_full"})] * 10)
-        with make_client(stub.port, retries=2) as client:
-            with pytest.raises(ServiceError) as err:
-                client.request("POST", "/v1/diff", {})
-        assert err.value.status == 429
-        assert err.value.attempts == 3
-        assert err.value.payload["error"] == "queue_full"
-        assert len(stub.requests) == 3  # initial + 2 retries
-        assert len(client.sleeps) == 2  # no sleep after the last failure
-
-    def test_backoff_is_capped_exponential_with_jitter(self, stub_factory):
-        stub = stub_factory([(500, {}, {"error": "internal"})] * 6)
-        with make_client(stub.port, retries=5, backoff_base=0.1, backoff_cap=0.5) as client:
-            with pytest.raises(ServiceError):
-                client.request("GET", "/healthz")
-        assert len(client.sleeps) == 5
-        for attempt, delay in enumerate(client.sleeps):
-            assert 0.0 <= delay <= min(0.5, 0.1 * 2.0 ** attempt)
-        # the cap binds eventually: no sleep exceeds it
-        assert max(client.sleeps) <= 0.5
-
-    @staticmethod
-    def _dead_port() -> int:
+    def test_connection_refused_against_a_dead_port(self):
         # a bound-then-closed socket yields a dead port nothing listens on
         import socket
 
@@ -182,62 +292,10 @@ class TestRetryPolicy:
         probe.bind(("127.0.0.1", 0))
         dead_port = probe.getsockname()[1]
         probe.close()
-        return dead_port
-
-    def test_connection_refused_is_retried_then_raised(self):
-        with make_client(self._dead_port(), retries=2, connect_retries=0) as client:
+        with make_client(dead_port, retries=1, connect_retries=1) as client:
             with pytest.raises(ServiceError) as err:
                 client.request("GET", "/healthz")
-        assert err.value.status == 0
         assert err.value.payload["error"] == "connection"
-        assert len(client.sleeps) == 2
-
-    def test_connect_retries_budget_is_separate_and_flat(self):
-        # refused connects draw on connect_retries first (flat base-jitter
-        # sleeps), then on the main exponential budget
-        with make_client(
-            self._dead_port(), retries=2, connect_retries=3, backoff_base=0.1
-        ) as client:
-            with pytest.raises(ServiceError) as err:
-                client.request("GET", "/healthz")
-        assert err.value.attempts == 1 + 3 + 2  # first + refused budget + retries
-        assert len(client.sleeps) == 5
-        # the refused-budget sleeps never escalate past the base window
-        for delay in client.sleeps[:3]:
-            assert 0.0 <= delay <= 0.1
-
-    def test_connect_retries_recovers_mid_restart(self, stub_factory):
-        # refused-then-up: the transparent budget hides a restart window
-        stub = stub_factory([(200, {}, {"ok": True})])
-        refused = {"count": 2}
-        real_port = stub.port
-
-        class FlakyClient(DiffServiceClient):
-            def request_once(self, method, path, payload=None):
-                if refused["count"] > 0:
-                    refused["count"] -= 1
-                    raise ConnectionRefusedError(111, "Connection refused")
-                return super().request_once(method, path, payload)
-
-        client = FlakyClient(
-            port=real_port, retries=0, connect_retries=4,
-            sleep=lambda _s: None, rng=random.Random(7),
-        )
-        assert client.request("GET", "/healthz") == {"ok": True}
-        assert len(client.sleeps) == 2  # one per refused connect
-        client.close()
-
-    def test_jitter_schedule_is_deterministic_given_rng(self, stub_factory):
-        responses = [(500, {}, {"error": "x"})] * 4
-        stub_a = stub_factory(list(responses))
-        stub_b = stub_factory(list(responses))
-        with make_client(stub_a.port, rng=random.Random(7)) as a:
-            with pytest.raises(ServiceError):
-                a.request("GET", "/healthz")
-        with make_client(stub_b.port, rng=random.Random(7)) as b:
-            with pytest.raises(ServiceError):
-                b.request("GET", "/healthz")
-        assert a.sleeps == b.sleeps
 
 
 class TestEndpointHelpers:

@@ -19,6 +19,7 @@ from repro.serve.app import ServeConfig
 from repro.serve.client import DiffServiceClient
 from repro.serve.cluster import ClusterConfig, ClusterThread, worker_argv
 from repro.serve.supervisor import Supervisor
+from repro.simtest.clock import SimClock
 from repro.workload import MutationEngine, random_tree
 
 WORKERS = 2
@@ -132,7 +133,7 @@ def test_worker_sigkill_under_load_is_invisible_to_clients(cluster):
             if info["state"] == "up" and info["pid"] != victim_pid:
                 assert info["restarts"] >= 1
                 break
-            time.sleep(0.2)
+            time.sleep(0.05)
         else:
             pytest.fail(f"{victim_id} never restarted: {health['workers']}")
 
@@ -197,6 +198,46 @@ class TestSupervisorBackoff:
     def test_worker_count_validated(self):
         with pytest.raises(ValueError):
             self._supervisor(count=0)
+
+    def test_backoff_schedule_is_exact_on_virtual_time(self):
+        # With an injected SimClock the schedule needs no approx tolerance.
+        async def body():
+            clock = SimClock(start=50.0)
+            sup = self._supervisor(clock=clock)
+            handle = sup.workers["w0"]
+            delays = []
+            for _ in range(5):
+                sup._schedule_restart(handle)
+                delays.append(handle.retry_at - clock.monotonic())
+            return delays
+
+        assert asyncio.run(body()) == [0.25, 0.5, 1.0, 1.0, 1.0]
+
+    def test_sleep_until_advances_virtual_time_without_waiting(self):
+        async def body():
+            clock = SimClock()
+            sup = self._supervisor(clock=clock)
+            loop = asyncio.get_running_loop()
+            started = time.monotonic()
+            # Absolute deadlines, as the drift-free supervise loop ticks.
+            deadline = clock.monotonic()
+            for _ in range(3):
+                deadline += 0.5
+                await sup._sleep_until(deadline, loop)
+            return clock.monotonic(), time.monotonic() - started
+
+        virtual, real = asyncio.run(body())
+        assert virtual == 1.5
+        assert real < 0.25  # no wall-clock sleeping happened
+
+    def test_sleep_until_past_deadline_returns_immediately(self):
+        async def body():
+            clock = SimClock(start=10.0)
+            sup = self._supervisor(clock=clock)
+            await sup._sleep_until(5.0, asyncio.get_running_loop())
+            return clock.monotonic()
+
+        assert asyncio.run(body()) == 10.0
 
 
 def test_worker_argv_round_trips_the_serve_config():
