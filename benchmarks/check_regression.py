@@ -60,6 +60,15 @@ POLICIES = {
         "kill_failures": ("equals", None),
         "drained_clean": ("equals", None),
     },
+    "bench_obs": {
+        # overhead ratios vs the same-run untraced baseline; the bench also
+        # enforces the hard 1.05x (off) / 1.15x (sampled) gates internally,
+        # so these bands only track drift against the committed numbers
+        "off_ratio": ("lower", 0.10),
+        "sampled_ratio": ("lower", 0.25),
+        # every sampled job must land its engine + stage spans, none open
+        "spans_ok": ("equals", None),
+    },
 }
 
 

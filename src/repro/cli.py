@@ -112,6 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-stage pipeline timings and counters to stderr",
     )
     p_script.add_argument(
+        "--trace-fraction", type=float, default=0.0,
+        help="sample this fraction of runs into a span tree; sampled --json "
+             "output gains a trace_id field (default 0)",
+    )
+    p_script.add_argument(
+        "--trace-export", default=None, metavar="PATH",
+        help="append recorded spans to PATH as sorted-keys JSONL",
+    )
+    p_script.add_argument(
         "-t", type=float, default=0.5, help="match threshold t (default 0.5)"
     )
     p_script.add_argument(
@@ -157,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--json", action="store_true",
         help="emit job results and metrics as JSON instead of text",
+    )
+    p_batch.add_argument(
+        "--trace-fraction", type=float, default=0.0,
+        help="sample this fraction of batch runs into one span tree rooted "
+             "at cli.batch; sampled jobs carry trace_id in --json (default 0)",
+    )
+    p_batch.add_argument(
+        "--trace-export", default=None, metavar="PATH",
+        help="append recorded spans to PATH as sorted-keys JSONL",
     )
     p_batch.add_argument(
         "-t", type=float, default=0.5, help="match threshold t (default 0.5)"
@@ -262,6 +280,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of served diffs to spot-check with the oracles (default 0)",
     )
     p_serve.add_argument(
+        "--trace-fraction", type=float, default=0.0,
+        help="sample this fraction of headerless requests into span trees; "
+             "requests carrying X-Trace-Id are always traced (default 0)",
+    )
+    p_serve.add_argument(
+        "--trace-buffer", type=int, default=2048,
+        help="ring-buffer capacity for closed spans (default 2048)",
+    )
+    p_serve.add_argument(
+        "--trace-export", default=None, metavar="PATH",
+        help="write buffered spans to PATH as sorted-keys JSONL on drain",
+    )
+    p_serve.add_argument(
         "--algorithm", choices=("fast", "simple"), default="fast",
         help="matching algorithm (default: fast)",
     )
@@ -299,6 +330,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_simtest.add_argument(
         "--json", action="store_true", help="emit the run summary as JSON"
+    )
+    p_simtest.add_argument(
+        "--trace-fraction", type=float, default=1.0,
+        help="fraction of simulated requests traced into span trees "
+             "(default 1.0; spans land in the event log)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="pretty-print a recorded span tree (file or live server)"
+    )
+    p_trace.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="16-hex trace id; omit with --file to render every trace",
+    )
+    p_trace.add_argument(
+        "--file", default=None, metavar="PATH",
+        help="read spans from a --trace-export JSONL file",
+    )
+    p_trace.add_argument(
+        "--url", default=None, metavar="URL",
+        help="fetch GET /v1/trace/<id> from a running server "
+             "(e.g. http://127.0.0.1:8765)",
+    )
+    p_trace.add_argument(
+        "--json", action="store_true",
+        help="emit the merged spans as sorted-keys JSON instead of the tree",
     )
     return parser
 
@@ -359,6 +416,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "simtest":
             return _cmd_simtest(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except ConfigError as exc:
         # One typed error covers every invalid-configuration path (bad
         # thresholds, unknown algorithm/format) across all subcommands.
@@ -400,6 +459,23 @@ def _load_tree(path: str) -> Tree:
     return tree_from_sexpr(text)
 
 
+def _make_cli_tracer(fraction: float):
+    """A ``(tracer, trace_id)`` pair for a CLI run; ``(None, None)`` when off."""
+    if fraction <= 0.0:
+        return None, None
+    from .obs.trace import Tracer
+
+    tracer = Tracer(fraction=fraction)
+    return tracer, tracer.maybe_trace()
+
+
+def _export_spans(tracer, path: Optional[str]) -> None:
+    if tracer is None or path is None:
+        return
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(tracer.export_jsonl())
+
+
 def _cmd_script(args) -> int:
     pipeline = DiffPipeline(
         DiffConfig(
@@ -409,16 +485,39 @@ def _cmd_script(args) -> int:
     )
     old = _load_tree(args.old)
     new = _load_tree(args.new)
+    tracer, trace_id = _make_cli_tracer(args.trace_fraction)
+    root = None
+    if trace_id is not None:
+        root = tracer.start_span(
+            "cli.script", kind="client", trace_id=trace_id,
+            meta={"old": os.path.basename(args.old), "new": os.path.basename(args.new)},
+        )
     result = pipeline.run(old, new)
+    if root is not None:
+        root.close()
+        if result.trace is not None:
+            from .obs.trace import synthesize_stage_spans
+
+            synthesize_stage_spans(
+                tracer, trace_id, root.span_id,
+                result.trace.stage_ms(), root.record.start,
+            )
     if not result.verify(old, new):  # pragma: no cover - guard
         print("internal error: script failed verification", file=sys.stderr)
         return 1
+    _export_spans(tracer, args.trace_export)
     if args.json:
-        print(json.dumps(result.script.to_dicts(), indent=2, sort_keys=True))
+        if trace_id is not None:
+            payload = {"script": result.script.to_dicts(), "trace_id": trace_id}
+        else:
+            payload = result.script.to_dicts()
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for op in result.script:
             print(op)
         print(f"# cost = {result.cost():.2f}", file=sys.stderr)
+        if trace_id is not None:
+            print(f"# trace = {trace_id}", file=sys.stderr)
     if args.trace and result.trace is not None:
         print(result.trace.render(), file=sys.stderr)
     return 0
@@ -501,6 +600,17 @@ def _cmd_batch(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    tracer, trace_id = _make_cli_tracer(args.trace_fraction)
+    root = None
+    if trace_id is not None:
+        # One trace for the whole batch: every engine job span hangs off a
+        # single cli.batch root, so the export renders as one tree.
+        engine.tracer = tracer
+        root = tracer.start_span(
+            "cli.batch", kind="client", trace_id=trace_id,
+            meta={"manifest": os.path.basename(args.manifest), "jobs": len(rows)},
+        )
+        engine.default_trace = (trace_id, root.span_id)
     try:
         if args.warm_cache and engine.cache is not None:
             engine.cache.warm(args.warm_cache)
@@ -512,6 +622,9 @@ def _cmd_batch(args) -> int:
             engine.cache.save(args.save_cache)
     finally:
         engine.close()
+        if root is not None:
+            root.close()
+            _export_spans(tracer, args.trace_export)
 
     failed = sum(1 for r in results if not r.ok)
     if args.json:
@@ -528,6 +641,7 @@ def _cmd_batch(args) -> int:
                         "stage_ms": {
                             stage: round(ms, 3) for stage, ms in r.stage_ms.items()
                         },
+                        "trace_id": r.trace_id,
                         "error": r.error,
                     }
                     for r in results
@@ -578,6 +692,9 @@ def _cmd_serve(args) -> int:
             max_body_bytes=args.max_body_kb * 1024,
             deadline_ms=args.deadline_ms,
             drain_timeout=args.drain_timeout,
+            trace_fraction=args.trace_fraction,
+            trace_buffer=args.trace_buffer,
+            trace_export=args.trace_export,
         )
 
         def announce(url: str) -> None:
@@ -682,6 +799,69 @@ def _cmd_fuzz(args) -> int:
     return 0 if fuzzed.ok else 1
 
 
+def _cmd_trace(args) -> int:
+    from .obs.export import load_spans_jsonl, render_span_tree, spans_to_jsonl
+
+    if (args.file is None) == (args.url is None):
+        print("error: trace needs exactly one of --file or --url", file=sys.stderr)
+        return 2
+    if args.file is not None:
+        try:
+            with open(args.file, encoding="utf-8") as handle:
+                spans = load_spans_jsonl(handle.read())
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.trace_id is not None:
+            wanted = args.trace_id.lower()
+            spans = [span for span in spans if span.get("trace") == wanted]
+    else:
+        if args.trace_id is None:
+            print("error: --url needs a TRACE_ID to fetch", file=sys.stderr)
+            return 2
+        spans = _fetch_trace_spans(args.url, args.trace_id)
+        if spans is None:
+            return 1
+    if not spans:
+        print("no spans found", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(spans, indent=2, sort_keys=True))
+        return 0
+    print(render_span_tree(spans), end="")
+    # The JSONL line count doubles as a span count for scripting.
+    count = spans_to_jsonl(spans).count("\n")
+    print(f"# {count} span(s)", file=sys.stderr)
+    return 0
+
+
+def _fetch_trace_spans(url: str, trace_id: str):
+    """GET /v1/trace/<id> from a worker or router front; None on failure."""
+    import http.client
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url if "//" in url else f"//{url}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 8765
+    conn = http.client.HTTPConnection(host, port, timeout=10.0)
+    try:
+        conn.request("GET", f"/v1/trace/{trace_id}")
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    finally:
+        conn.close()
+    if response.status != 200:
+        print(
+            f"error: HTTP {response.status}: {payload.get('message', payload)}",
+            file=sys.stderr,
+        )
+        return None
+    return payload.get("spans", [])
+
+
 def _cmd_simtest(args) -> int:
     # Imported here: the scenario layer pulls in the whole serve stack,
     # which the document-diffing subcommands should not pay for.
@@ -706,7 +886,9 @@ def _cmd_simtest(args) -> int:
     shrunk_plans = {}
     chunks = []
     for name in names:
-        spec = build_scenario(name, seed=args.seed)
+        spec = build_scenario(
+            name, seed=args.seed, trace_fraction=args.trace_fraction
+        )
         result = run_scenario(spec)
         if not result.ok and args.shrink and spec.plan is not None:
             small, result = shrink_plan(spec)

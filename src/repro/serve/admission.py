@@ -179,20 +179,32 @@ class AdmissionController:
     def body_allowed(self, content_length: int) -> bool:
         return content_length <= self.max_body_bytes
 
-    def try_admit(self, client: str) -> Decision:
-        """Rate-limit then queue check; on success one slot is held."""
+    def try_admit(self, client: str, span: Optional[Any] = None) -> Decision:
+        """Rate-limit then queue check; on success one slot is held.
+
+        ``span`` is an optional open :class:`repro.obs.Span`: the decision
+        (and the queue depth it was made against) is annotated onto it so
+        a trace shows *why* a request was admitted or refused.
+        """
         decision = self.limiter.check(client)
-        if not decision.admitted:
-            return decision
-        with self._lock:
-            if self._in_flight >= self.queue_capacity:
-                return Decision(
-                    admitted=False,
-                    reason="queue_full",
-                    retry_after=self._queue_retry_after(),
-                )
-            self._in_flight += 1
-        return Decision(admitted=True)
+        if decision.admitted:
+            with self._lock:
+                if self._in_flight >= self.queue_capacity:
+                    decision = Decision(
+                        admitted=False,
+                        reason="queue_full",
+                        retry_after=self._queue_retry_after(),
+                    )
+                else:
+                    self._in_flight += 1
+                    decision = Decision(admitted=True)
+        if span is not None:
+            span.annotate(
+                decision=decision.reason,
+                admitted=decision.admitted,
+                in_flight=self.in_flight,
+            )
+        return decision
 
     def release(self) -> None:
         """Return the slot taken by a successful :meth:`try_admit`."""

@@ -35,11 +35,13 @@ from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
 from ..matching.criteria import MatchConfig
+from ..obs.export import validate_trace
+from ..obs.trace import Tracer, extract_trace_context, is_valid_trace_id
 from ..service.engine import DiffEngine
 from ..service.metrics import ServiceMetrics
 from ..simtest.clock import SYSTEM_CLOCK
 from .admission import AdmissionController, Deadline
-from .lifecycle import Lifecycle, dump_final_metrics
+from .lifecycle import Lifecycle, dump_final_metrics, dump_final_traces
 from .protocol import (
     MAX_HEADERS,
     PROTOCOL,
@@ -79,6 +81,11 @@ class ServeConfig:
     deadline_ms: float = 30_000.0
     max_batch: int = 64
     drain_timeout: float = 30.0
+    #: Server-side sampling for requests that arrive without trace headers;
+    #: requests that *carry* a valid ``X-Trace-Id`` are always traced.
+    trace_fraction: float = 0.0
+    trace_buffer: int = 2048  #: ring-buffer capacity for closed spans
+    trace_export: Optional[str] = None  #: JSONL path flushed on drain
     extra: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -97,9 +104,15 @@ class DiffServer:
         self.metrics = (
             metrics if metrics is not None else ServiceMetrics(clock=self.clock)
         )
+        self.tracer = Tracer(
+            fraction=self.config.trace_fraction,
+            capacity=self.config.trace_buffer,
+            clock=self.clock,
+        )
         if engine is not None:
             self.engine = engine
             self.engine.metrics = self.metrics
+            self.engine.tracer = self.tracer
         else:
             self.engine = DiffEngine(
                 workers=self.config.workers,
@@ -110,6 +123,7 @@ class DiffServer:
                 metrics=self.metrics,
                 retries=self.config.retries,
                 verify_fraction=self.config.verify_fraction,
+                tracer=self.tracer,
             )
         self.admission = AdmissionController(
             queue_capacity=self.config.queue_capacity,
@@ -174,6 +188,8 @@ class DiffServer:
         finally:
             self._server = None
             self.engine.close()
+        if self.config.trace_export:
+            dump_final_traces(self.tracer.export_jsonl(), self.config.trace_export)
         snapshot = self.metrics_payload()
         if dump_metrics:
             dump_final_metrics(snapshot)
@@ -338,11 +354,14 @@ class DiffServer:
         if path == "/metrics":
             self._require_method(method, "GET", path)
             return 200, self.metrics_payload(), {}
+        if path.startswith("/v1/trace/"):
+            self._require_method(method, "GET", path)
+            return 200, self.trace_payload(path[len("/v1/trace/"):]), {}
         if path in COMPUTE_ROUTES:
             self._require_method(method, "POST", path)
             data = parse_body(body)
-            payload = await self._admitted(path, data, headers, client)
-            return 200, payload, {}
+            payload, extra = await self._admitted(path, data, headers, client)
+            return 200, payload, extra
         raise HttpError(404, "not_found", f"no route for {path}")
 
     @staticmethod
@@ -352,15 +371,44 @@ class DiffServer:
 
     async def _admitted(
         self, path: str, data: Dict[str, Any], headers: Dict[str, str], client: str
-    ) -> Dict[str, Any]:
-        """The shared admission bracket around every compute endpoint."""
+    ) -> Tuple[Dict[str, Any], Dict[str, str]]:
+        """The shared admission bracket around every compute endpoint.
+
+        Returns ``(payload, extra response headers)``; a traced request
+        echoes its trace id back as ``X-Trace-Id``.
+        """
         if self.lifecycle.draining:
             self.metrics.incr("rejected_draining")
             raise HttpError(
                 503, "draining", "server is draining; retry elsewhere", retry_after=1.0
             )
-        decision = self.admission.try_admit(client)
+        ctx = extract_trace_context(headers)
+        if ctx is not None:
+            trace_id, parent_id = ctx
+        else:
+            trace_id, parent_id = self.tracer.maybe_trace(), None
+        worker_span = None
+        extra: Dict[str, str] = {}
+        if trace_id is not None:
+            worker_span = self.tracer.start_span(
+                "worker",
+                kind="worker",
+                trace_id=trace_id,
+                parent_id=parent_id,
+                meta={"path": path, "client": client},
+            )
+            extra["X-Trace-Id"] = trace_id
+        admission_span = (
+            worker_span.child("admission", kind="worker")
+            if worker_span is not None
+            else None
+        )
+        decision = self.admission.try_admit(client, span=admission_span)
+        if admission_span is not None:
+            admission_span.close("ok" if decision.admitted else "refused")
         if not decision.admitted:
+            if worker_span is not None:
+                worker_span.close("refused")
             self.metrics.incr(f"rejected_{decision.reason}")
             raise HttpError(
                 429,
@@ -369,12 +417,22 @@ class DiffServer:
                 retry_after=decision.retry_after,
             )
         deadline = self.admission.deadline(self._requested_deadline(data, headers))
+        trace = (trace_id, worker_span.span_id) if worker_span is not None else None
         try:
             if path == "/v1/diff":
-                return await self._handle_diff(data, deadline)
-            if path == "/v1/batch":
-                return await self._handle_batch(data, deadline)
-            return await self._handle_verify(data, deadline)
+                payload = await self._handle_diff(data, deadline, trace)
+            elif path == "/v1/batch":
+                payload = await self._handle_batch(data, deadline, trace)
+            else:
+                payload = await self._handle_verify(data, deadline)
+        except BaseException:
+            if worker_span is not None:
+                worker_span.close("error")
+            raise
+        else:
+            if worker_span is not None:
+                worker_span.close("ok")
+            return payload, extra
         finally:
             self.admission.release()
 
@@ -415,31 +473,42 @@ class DiffServer:
         return f"{prefix}-{self._job_seq}"
 
     async def _handle_diff(
-        self, data: Dict[str, Any], deadline: Deadline
+        self,
+        data: Dict[str, Any],
+        deadline: Deadline,
+        trace: Optional[Tuple[str, str]] = None,
     ) -> Dict[str, Any]:
         old, new = require_pair(data)
         job_id = str(data.get("id", self._next_job_id("http")))
-        future = asyncio.wrap_future(self.engine.submit(old, new, job_id=job_id))
+        future = asyncio.wrap_future(
+            self.engine.submit(old, new, job_id=job_id, trace=trace)
+        )
         result = await self._await_with_deadline(future, deadline)
         include_script = bool(data.get("include_script", True))
         return job_result_to_dict(result, include_script=include_script)
 
     async def _handle_batch(
-        self, data: Dict[str, Any], deadline: Deadline
+        self,
+        data: Dict[str, Any],
+        deadline: Deadline,
+        trace: Optional[Tuple[str, str]] = None,
     ) -> Dict[str, Any]:
         pairs = pairs_from_batch(data, self.config.max_batch)
         futures = [
-            asyncio.wrap_future(self.engine.submit(old, new, job_id=job_id))
+            asyncio.wrap_future(self.engine.submit(old, new, job_id=job_id, trace=trace))
             for old, new, job_id in pairs
         ]
         results = await self._await_with_deadline(asyncio.gather(*futures), deadline)
         include_script = bool(data.get("include_script", True))
         jobs = [job_result_to_dict(r, include_script=include_script) for r in results]
-        return {
+        out = {
             "jobs": jobs,
             "failed": sum(1 for r in results if not r.ok),
             "protocol": PROTOCOL,
         }
+        if trace is not None:
+            out["trace_id"] = trace[0]
+        return out
 
     async def _handle_verify(
         self, data: Dict[str, Any], deadline: Deadline
@@ -484,8 +553,26 @@ class DiffServer:
         snapshot["server"]["draining"] = self.lifecycle.draining
         cache = self.engine.cache
         snapshot["cache"] = cache.stats() if cache is not None else None
+        snapshot["trace"] = self.tracer.stats()
         snapshot["protocol"] = PROTOCOL
         return snapshot
+
+    def trace_payload(self, trace_id: str) -> Dict[str, Any]:
+        """The ``GET /v1/trace/<id>`` debug view: this worker's spans."""
+        if not is_valid_trace_id(trace_id):
+            raise HttpError(400, "bad_trace_id", f"not a trace id: {trace_id!r}")
+        trace_id = trace_id.lower()
+        spans = self.tracer.trace(trace_id)
+        open_spans = self.tracer.open_count(trace_id)
+        if not spans and not open_spans:
+            raise HttpError(404, "unknown_trace", f"no spans for trace {trace_id}")
+        return {
+            "trace_id": trace_id,
+            "spans": spans,
+            "open_spans": open_spans,
+            "complete": open_spans == 0 and not validate_trace(spans),
+            "protocol": PROTOCOL,
+        }
 
 
 # ---------------------------------------------------------------------------

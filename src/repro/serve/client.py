@@ -29,6 +29,7 @@ import socket
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.tree import Tree
+from ..obs.trace import Tracer, inject_trace_headers
 from ..simtest.clock import SYSTEM_CLOCK, Clock
 from .protocol import PROTOCOL, RETRYABLE_STATUSES, tree_to_payload
 
@@ -91,6 +92,16 @@ class DiffServiceClient:
     faults:
         Optional armed :class:`~repro.simtest.faults.FaultInjector`;
         ``None`` (production) short-circuits to zero overhead.
+    trace_fraction, tracer:
+        Distributed tracing. ``trace_fraction`` samples that share of
+        ``request()`` calls deterministically; each sampled call mints a
+        trace id, opens a ``client.request`` root span plus one
+        ``client.attempt`` span per try, and propagates
+        ``X-Trace-Id``/``X-Span-Id`` so the router and workers join the
+        same trace. Pass ``tracer=`` to share a :class:`~repro.obs.Tracer`
+        (the simulation harness does); otherwise one is built from the
+        client's clock and rng, so seeded runs mint identical ids. The
+        id of the last sampled trace lands in ``last_trace_id``.
     """
 
     def __init__(
@@ -108,6 +119,8 @@ class DiffServiceClient:
         sleep: Optional[Callable[[float], None]] = None,
         rng: Optional[random.Random] = None,
         faults: Optional[Any] = None,
+        trace_fraction: float = 0.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -126,6 +139,19 @@ class DiffServiceClient:
         self._sleep = sleep if sleep is not None else self._clock.sleep
         self._rng = rng if rng is not None else random.Random()
         self._faults = faults
+        if tracer is not None:
+            self.tracer: Optional[Tracer] = tracer
+        elif trace_fraction > 0.0:
+            # A derived rng keeps id minting from perturbing jitter draws.
+            self.tracer = Tracer(
+                fraction=trace_fraction,
+                clock=self._clock,
+                rng=random.Random(self._rng.getrandbits(64)),
+            )
+        else:
+            self.tracer = None
+        #: Trace id of the most recent sampled request() call, if any.
+        self.last_trace_id: Optional[str] = None
         self._conn: Optional[http.client.HTTPConnection] = None
         #: Backoff delays actually slept, newest last (observability/tests).
         self.sleeps: List[float] = []
@@ -152,7 +178,11 @@ class DiffServiceClient:
         self.close()
 
     def request_once(
-        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        trace: Optional[Tuple[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         """One attempt, no retries: ``(status, decoded body, headers)``.
 
@@ -170,6 +200,8 @@ class DiffServiceClient:
         headers = {"Content-Type": "application/json", "Accept": "application/json"}
         if self.client_id is not None:
             headers["X-Client-Id"] = self.client_id
+        if trace is not None:
+            inject_trace_headers(headers, trace[0], trace[1])
         body = None
         if payload is not None:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -235,12 +267,36 @@ class DiffServiceClient:
         attempt = 0
         refused_left = self.connect_retries
         tries = 0
+        trace_id = self.tracer.maybe_trace() if self.tracer is not None else None
+        root = None
+        if trace_id is not None:
+            root = self.tracer.start_span(
+                "client.request",
+                kind="client",
+                trace_id=trace_id,
+                meta={"method": method, "path": path},
+            )
+        self.last_trace_id = trace_id
         while True:
             retry_after = 0.0
             refused = False
             tries += 1
+            attempt_span = None
+            trace_ctx = None
+            if root is not None:
+                attempt_span = root.child("client.attempt", kind="client")
+                attempt_span.annotate(attempt=tries)
+                trace_ctx = (trace_id, attempt_span.span_id)
             try:
-                status, decoded, headers = self.request_once(method, path, payload)
+                # Only pass trace= when a span is actually open: subclasses
+                # and test doubles that override request_once with the plain
+                # signature keep working as long as they don't enable tracing.
+                if trace_ctx is not None:
+                    status, decoded, headers = self.request_once(
+                        method, path, payload, trace=trace_ctx
+                    )
+                else:
+                    status, decoded, headers = self.request_once(method, path, payload)
             except ConnectionRefusedError as exc:
                 refused = True
                 last_status = 0
@@ -248,17 +304,28 @@ class DiffServiceClient:
                     "error": "connection",
                     "message": f"{type(exc).__name__}: {exc}",
                 }
+                if attempt_span is not None:
+                    attempt_span.annotate(error="conn_refused").close("error")
             except (OSError, socket.timeout, http.client.HTTPException) as exc:
                 last_status = 0
                 last_payload = {
                     "error": "connection",
                     "message": f"{type(exc).__name__}: {exc}",
                 }
+                if attempt_span is not None:
+                    attempt_span.annotate(error=type(exc).__name__).close("error")
             else:
+                if attempt_span is not None:
+                    attempt_span.annotate(status=status)
+                    attempt_span.close("ok" if status < 400 else "error")
                 if status < 400:
+                    if root is not None:
+                        root.annotate(status=status, tries=tries).close("ok")
                     return decoded
                 last_status, last_payload = status, decoded
                 if status not in RETRYABLE_STATUSES:
+                    if root is not None:
+                        root.annotate(status=status, tries=tries).close("error")
                     raise ServiceError(status, decoded, tries)
                 retry_after = self._retry_after_hint(decoded, headers)
             if refused and refused_left > 0:
@@ -274,6 +341,8 @@ class DiffServiceClient:
                 self._sleep(delay)
                 attempt += 1
                 continue
+            if root is not None:
+                root.annotate(status=last_status, tries=tries).close("error")
             raise ServiceError(last_status, last_payload, tries)
 
     # ------------------------------------------------------------------

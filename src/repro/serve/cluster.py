@@ -93,6 +93,7 @@ def worker_argv(serve: ServeConfig, python: Optional[str] = None) -> List[str]:
         "--drain-timeout", str(serve.drain_timeout),
         "--retries", str(serve.retries),
         "--verify-fraction", str(serve.verify_fraction),
+        "--trace-fraction", str(serve.trace_fraction),
         "--algorithm", serve.algorithm,
     ]
     if serve.match is not None:

@@ -139,3 +139,15 @@ def dump_final_metrics(
     out = stream if stream is not None else sys.stdout
     print(line, file=out, flush=True)
     return line
+
+
+def dump_final_traces(jsonl: str, path: str) -> int:
+    """Step 4b of the drain: flush the tracer's span buffer to *path*.
+
+    Returns the number of span lines written. An empty buffer still
+    truncates the file, so a re-used export path never shows stale spans
+    from a previous run.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(jsonl)
+    return sum(1 for line in jsonl.splitlines() if line.strip())

@@ -21,6 +21,12 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.errors import ParseError
 from ..core.serialization import tree_from_dict, tree_from_sexpr, tree_to_dict
 from ..core.tree import Tree
+from ..obs.trace import (  # noqa: F401  (re-exported wire-level helpers)
+    SPAN_ID_HEADER,
+    TRACE_ID_HEADER,
+    extract_trace_context,
+    inject_trace_headers,
+)
 
 #: Protocol identifier echoed in every response and checked by the client.
 PROTOCOL = "repro-serve/1"
@@ -253,6 +259,9 @@ def job_result_to_dict(result: Any, include_script: bool = True) -> Dict[str, An
         "verified": result.verified,
         "protocol": PROTOCOL,
     }
+    trace_id = getattr(result, "trace_id", None)
+    if trace_id is not None:
+        out["trace_id"] = trace_id
     if include_script and result.script is not None:
         out["script"] = {
             "records": result.script.to_dicts(),

@@ -34,6 +34,14 @@ import json
 from bisect import bisect_left, insort
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
+from ..obs.export import merge_spans
+from ..obs.trace import (
+    SPAN_ID_HEADER,
+    TRACE_ID_HEADER,
+    Tracer,
+    extract_trace_context,
+    is_valid_trace_id,
+)
 from ..simtest.clock import SYSTEM_CLOCK
 from .lifecycle import Lifecycle
 from .protocol import (
@@ -166,6 +174,7 @@ class Router:
         proxy_timeout: float = 120.0,
         clock: Optional[Any] = None,
         faults: Optional[Any] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.ring = ring
         self.ports = ports
@@ -180,6 +189,10 @@ class Router:
         self.clock = clock if clock is not None else SYSTEM_CLOCK
         #: Optional armed FaultInjector for the proxy leg (None = no-op).
         self.faults = faults
+        # Propagate-only by default: the router never originates traces,
+        # it records one ``router.proxy`` span per forwarding attempt for
+        # requests that arrive with a valid X-Trace-Id.
+        self.tracer = tracer if tracer is not None else Tracer(clock=self.clock)
         #: Loop-thread-only counters surfaced under ``cluster.router``.
         self.counters: Dict[str, int] = {}
         self.active_requests = 0
@@ -316,6 +329,10 @@ class Router:
             if method != "GET":
                 raise HttpError(405, "method_not_allowed", f"{path} only accepts GET")
             return 200, await self.aggregate_metrics(), {}
+        if path.startswith("/v1/trace/"):
+            if method != "GET":
+                raise HttpError(405, "method_not_allowed", f"{path} only accepts GET")
+            return 200, await self.aggregate_trace(path[len("/v1/trace/"):]), {}
         if self.lifecycle.draining:
             self._count("rejected_draining")
             raise HttpError(
@@ -329,13 +346,29 @@ class Router:
         key = affinity_key(path, headers, body)
         chain = self.ring.assign_chain(key)
         last_error = "no live workers"
+        ctx = extract_trace_context(headers)
         for position, worker_id in enumerate(chain):
             port = self.ports.get(worker_id)
             if port is None:
                 continue
+            span = None
+            trace = None
+            if ctx is not None:
+                # One span per forwarding attempt: a replayed request shows
+                # its whole failover chain. The worker's parent becomes this
+                # proxy span, while the trace id passes through verbatim.
+                span = self.tracer.start_span(
+                    "router.proxy",
+                    kind="router",
+                    trace_id=ctx[0],
+                    parent_id=ctx[1],
+                    meta={"worker": worker_id, "position": position},
+                )
+                trace = (ctx[0], span.span_id)
             try:
                 status, resp_body = await self._forward(
-                    port, method, path, headers, body, worker_id=worker_id
+                    port, method, path, headers, body,
+                    worker_id=worker_id, trace=trace,
                 )
             except (OSError, asyncio.IncompleteReadError, asyncio.TimeoutError) as exc:
                 # The backend died under the request. Compute endpoints are
@@ -343,12 +376,16 @@ class Router:
                 # successor is safe — the client never sees the crash.
                 self._count("proxy_failovers")
                 last_error = f"{worker_id}: {type(exc).__name__}: {exc}"
+                if span is not None:
+                    span.annotate(error=type(exc).__name__).close("failover")
                 if self.on_backend_failure is not None:
                     self.on_backend_failure(worker_id)
                 continue
             self._count("proxied")
             if position > 0:
                 self._count("proxied_rerouted")
+            if span is not None:
+                span.annotate(status=status).close("ok")
             return status, resp_body, {"X-Worker-Id": worker_id}
         self._count("rejected_no_backend")
         raise HttpError(
@@ -366,6 +403,7 @@ class Router:
         headers: Dict[str, str],
         body: bytes,
         worker_id: Optional[str] = None,
+        trace: Optional[Tuple[str, str]] = None,
     ) -> Tuple[int, bytes]:
         """One fully-framed request/response exchange with a worker."""
         if self.faults is not None:
@@ -396,6 +434,11 @@ class Router:
             for name in FORWARDED_HEADERS:
                 if name in headers:
                     head.append(f"{name}: {headers[name]}")
+            if trace is not None:
+                # The trace id travels verbatim; the parent span becomes
+                # this proxy leg so the worker hangs beneath it.
+                head.append(f"{TRACE_ID_HEADER}: {trace[0]}")
+                head.append(f"{SPAN_ID_HEADER}: {trace[1]}")
             writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
             await writer.drain()
             status_line = await asyncio.wait_for(reader.readline(), self.proxy_timeout)
@@ -440,10 +483,55 @@ class Router:
         merged["protocol"] = PROTOCOL
         return merged
 
+    async def aggregate_trace(self, trace_id: str) -> Dict[str, Any]:
+        """Merge one trace's spans across every shard plus the router's own.
+
+        Workers only know their slice of a trace; the router fans
+        ``GET /v1/trace/<id>`` out to all of them and merges the slices
+        with its proxy spans into one deduplicated, stably-ordered list.
+        """
+        if not is_valid_trace_id(trace_id):
+            raise HttpError(400, "bad_trace_id", f"not a trace id: {trace_id!r}")
+        trace_id = trace_id.lower()
+        live = [(wid, port) for wid, port in sorted(self.ports.items())]
+        fetches: List[Awaitable] = [
+            fetch_json(
+                self.backend_host,
+                port,
+                f"/v1/trace/{trace_id}",
+                timeout=self.connect_timeout,
+            )
+            for _, port in live
+        ]
+        results = await asyncio.gather(*fetches, return_exceptions=True)
+        span_lists: List[List[Dict[str, Any]]] = [self.tracer.trace(trace_id)]
+        workers: List[str] = []
+        open_spans = self.tracer.open_count(trace_id)
+        for (worker_id, _), result in zip(live, results):
+            if isinstance(result, BaseException):
+                continue
+            status, decoded = result
+            if status == 200 and isinstance(decoded.get("spans"), list):
+                span_lists.append(decoded["spans"])
+                workers.append(worker_id)
+                open_spans += int(decoded.get("open_spans", 0) or 0)
+        merged = merge_spans(*span_lists)
+        if not merged and open_spans == 0:
+            raise HttpError(404, "unknown_trace", f"no spans for trace {trace_id}")
+        return {
+            "trace_id": trace_id,
+            "spans": merged,
+            "open_spans": open_spans,
+            "complete": open_spans == 0,
+            "workers": workers,
+            "protocol": PROTOCOL,
+        }
+
     def stats(self) -> Dict[str, Any]:
         return {
             "router": dict(sorted(self.counters.items())),
             "live_workers": self.ring.members(),
             "draining": self.lifecycle.draining,
             "uptime_s": round(self.clock.monotonic() - self._started, 3),
+            "trace": self.tracer.stats(),
         }

@@ -39,6 +39,7 @@ from ..core.serialization import tree_from_dict, tree_to_dict
 from ..core.tree import Tree
 from ..editscript.script import EditScript
 from ..matching.criteria import MatchConfig
+from ..obs.trace import Tracer, synthesize_stage_spans
 from ..pipeline import DiffConfig, DiffPipeline
 from .cache import (
     ScriptCache,
@@ -80,6 +81,8 @@ class JobResult:
     #: Outcome of the engine's oracle spot check: ``True``/``False`` when
     #: this job was sampled (``verify_fraction``), ``None`` when it wasn't.
     verified: Optional[bool] = None
+    #: Trace id of the request this job ran under (``None`` when untraced).
+    trace_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -194,6 +197,7 @@ class DiffEngine:
         retries: int = 0,
         executor: str = "thread",
         verify_fraction: float = 0.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -228,6 +232,12 @@ class DiffEngine:
         self.verify_fraction = verify_fraction
         self._verify_lock = threading.Lock()
         self._verify_seen = 0
+        #: Optional :class:`repro.obs.Tracer`; jobs that carry a trace
+        #: context open an ``engine`` span with stage children under it.
+        self.tracer = tracer
+        #: Fallback trace context applied when a job carries none (the CLI
+        #: uses this to hang a whole batch under one root span).
+        self.default_trace: Optional[Tuple[str, Optional[str]]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -267,17 +277,30 @@ class DiffEngine:
         """Merkle fingerprint of a snapshot (see :mod:`repro.service.digest`)."""
         return tree_fingerprint(tree)
 
-    def diff(self, old: TreeSource, new: TreeSource, job_id: str = "diff") -> JobResult:
+    def diff(
+        self,
+        old: TreeSource,
+        new: TreeSource,
+        job_id: str = "diff",
+        trace: Optional[Tuple[str, Optional[str]]] = None,
+    ) -> JobResult:
         """Run one job synchronously in the calling thread."""
-        return self._run_job(job_id, old, new)
+        return self._run_job(job_id, old, new, trace)
 
-    def submit(self, old: TreeSource, new: TreeSource, job_id: str = "job") -> "Future[JobResult]":
+    def submit(
+        self,
+        old: TreeSource,
+        new: TreeSource,
+        job_id: str = "job",
+        trace: Optional[Tuple[str, Optional[str]]] = None,
+    ) -> "Future[JobResult]":
         """Schedule one job on the pool; the future resolves to a JobResult.
 
         Failures are captured *inside* the result, so ``future.result()``
         only raises on timeout (when the caller passes one) or shutdown.
+        ``trace`` is an optional ``(trace_id, parent_span_id)`` context.
         """
-        return self._thread_pool().submit(self._run_job, job_id, old, new)
+        return self._thread_pool().submit(self._run_job, job_id, old, new, trace)
 
     def map_pairs(
         self,
@@ -327,10 +350,28 @@ class DiffEngine:
     # ------------------------------------------------------------------
     # Job execution
     # ------------------------------------------------------------------
-    def _run_job(self, job_id: str, old: TreeSource, new: TreeSource) -> JobResult:
+    def _run_job(
+        self,
+        job_id: str,
+        old: TreeSource,
+        new: TreeSource,
+        trace: Optional[Tuple[str, Optional[str]]] = None,
+    ) -> JobResult:
         start = time.perf_counter()
         self.metrics.incr("jobs_submitted")
         result = JobResult(job_id=job_id)
+        if trace is None:
+            trace = self.default_trace
+        span = None
+        if self.tracer is not None and trace is not None:
+            span = self.tracer.start_span(
+                "engine",
+                kind="engine",
+                trace_id=trace[0],
+                parent_id=trace[1],
+                meta={"job": job_id},
+            )
+            result.trace_id = trace[0]
         try:
             old_tree = old() if callable(old) else old
             new_tree = new() if callable(new) else new
@@ -351,6 +392,20 @@ class DiffEngine:
         else:
             self.metrics.incr("jobs_failed")
         self.metrics.observe_wall(result.wall_ms)
+        if span is not None:
+            span.annotate(source=result.source, job_status=result.status)
+            span.close("ok" if result.status == "ok" else "error")
+            if result.stage_ms:
+                # The pipeline Trace only knows durations; lay them out
+                # back to back inside the engine span's interval.
+                synthesize_stage_spans(
+                    self.tracer,
+                    span.trace_id,
+                    span.span_id,
+                    result.stage_ms,
+                    span.record.start,
+                    meta={"job": job_id},
+                )
         return result
 
     def _should_verify(self) -> bool:

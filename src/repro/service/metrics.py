@@ -338,7 +338,18 @@ def merge_snapshots(snapshots):
             if isinstance(value, (int, float)):
                 cache[key] = cache.get(key, 0) + int(value)
 
-    return {
+    trace: Optional[Dict[str, int]] = None
+    for snap in ordered.values():
+        worker_trace = snap.get("trace")
+        if not isinstance(worker_trace, dict):
+            continue
+        if trace is None:
+            trace = {}
+        for key, value in worker_trace.items():
+            if isinstance(value, (int, float)):
+                trace[key] = trace.get(key, 0) + int(value)
+
+    merged = {
         "counters": counters,
         "wall_time": wall,
         "stages": stages,
@@ -346,3 +357,6 @@ def merge_snapshots(snapshots):
         "cache": cache,
         "workers": ordered,
     }
+    if trace is not None:
+        merged["trace"] = trace
+    return merged

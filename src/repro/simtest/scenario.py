@@ -59,6 +59,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..obs.export import validate_trace
+from ..obs.trace import Tracer, extract_trace_context, synthesize_stage_spans
 from ..serve.admission import AdmissionController
 from ..serve.client import DiffServiceClient, ServiceError
 from ..serve.router import HashRing, affinity_key
@@ -70,6 +72,16 @@ from .faults import FaultInjector, FaultPlan
 
 #: Stride mixed into per-client rng seeds (mirrors verify.fuzz).
 _SEED_STRIDE = 1_000_003
+
+#: How the simulated service time splits across the real pipeline's stages
+#: (same names as :class:`repro.pipeline.Trace`). Sums to 0.9 so the
+#: synthesized stage spans always fit inside the enclosing engine span.
+STAGE_WEIGHTS = (
+    ("index", 0.10),
+    ("match", 0.50),
+    ("postprocess", 0.10),
+    ("editscript", 0.20),
+)
 
 
 def derive_rng(seed: int, name: str) -> random.Random:
@@ -108,6 +120,7 @@ class Scenario:
     backoff_base: float = 0.25
     backoff_cap: float = 2.0
     auto_restart: bool = True
+    trace_fraction: float = 1.0  #: share of client requests traced
     client: Dict[str, Any] = field(default_factory=dict)  #: client kwargs
     steps: List[Step] = field(default_factory=list)
     plan: Optional[FaultPlan] = None
@@ -115,6 +128,7 @@ class Scenario:
         "retry_discipline",
         "drain_integrity",
         "metrics_conservation",
+        "trace_complete",
     )
 
     def describe(self) -> Dict[str, Any]:
@@ -144,6 +158,7 @@ class RequestRecord:
     sleeps: List[float] = field(default_factory=list)
     hints: List[Dict[str, Any]] = field(default_factory=list)
     worker: Optional[str] = None  #: X-Worker-Id that served the success
+    trace_id: Optional[str] = None  #: minted when the request was sampled
     draining_at_start: bool = False
     live_at_end: int = 0
     min_live_seen: Optional[int] = None
@@ -167,12 +182,14 @@ class SimWorker:
     """
 
     def __init__(self, worker_id: str, spec: Scenario, clock: SimClock,
-                 faults: Optional[FaultInjector], log: EventLog) -> None:
+                 faults: Optional[FaultInjector], log: EventLog,
+                 tracer: Optional[Tracer] = None) -> None:
         self.worker_id = worker_id
         self.spec = spec
         self.clock = clock
         self.faults = faults
         self.log = log
+        self.tracer = tracer
         self.state = "up"  #: up | crashed
         self.incarnation = 0
         self.occupied = 0  #: slots held by scripted occupiers
@@ -257,6 +274,43 @@ class SimWorker:
                 raise ConnectionRefusedError(
                     111, f"injected conn_refused at {self.worker_id}"
                 )
+        ctx = extract_trace_context(headers) if self.tracer is not None else None
+        span = None
+        if ctx is not None:
+            span = self.tracer.start_span(
+                "worker",
+                kind="worker",
+                trace_id=ctx[0],
+                parent_id=ctx[1],
+                meta={"path": path, "worker": self.worker_id},
+            )
+        try:
+            status, payload, extra = self._serve(method, path, headers, body, span)
+        except BaseException:
+            # The process died mid-request: whatever it was doing is lost.
+            if span is not None:
+                span.close("lost")
+            raise
+        if span is not None:
+            extra = dict(extra)
+            extra["X-Trace-Id"] = ctx[0]
+            span.annotate(status=status)
+            if status < 400:
+                span.close("ok")
+            elif status == 429:
+                span.close("refused")
+            else:
+                span.close("error")
+        return status, payload, extra
+
+    def _serve(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        span: Optional[Any] = None,
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         try:
             data = json.loads(body.decode("utf-8")) if body else {}
         except ValueError:
@@ -264,7 +318,12 @@ class SimWorker:
         client = headers.get("x-client-id", "anon")
         doc = str(data.get("id", ""))
 
-        decision = self.admission.try_admit(client)
+        admission_span = (
+            span.child("admission", kind="worker") if span is not None else None
+        )
+        decision = self.admission.try_admit(client, span=admission_span)
+        if admission_span is not None:
+            admission_span.close("ok" if decision.admitted else "refused")
         if not decision.admitted:
             self.metrics.incr(f"rejected_{decision.reason}")
             return (
@@ -282,10 +341,13 @@ class SimWorker:
         metrics.incr("jobs_submitted")
         deadline = admission.deadline(data.get("deadline_ms"))
         started = self.clock.monotonic()
+        engine_span = span.child("engine", kind="engine") if span is not None else None
         try:
             if deadline.expired:
                 # The whole budget went to queueing (or a clock jump ate it).
                 metrics.incr("jobs_timed_out")
+                if engine_span is not None:
+                    engine_span.annotate(job_status="timeout").close("error")
                 return 504, {"error": "deadline_exceeded", "message": ""}, {}
 
             service = self.spec.service_time
@@ -324,16 +386,36 @@ class SimWorker:
 
             if deadline.expired:
                 metrics.incr("jobs_timed_out")
+                if engine_span is not None:
+                    engine_span.annotate(job_status="timeout").close("error")
                 return 504, {"error": "deadline_exceeded", "message": ""}, {}
             if hit is None and doc and data.get("cacheable", True):
                 cache.put(key, {"records": [], "doc": doc})
             metrics.incr("jobs_succeeded")
             metrics.observe_wall((self.clock.monotonic() - started) * 1000.0)
+            if engine_span is not None:
+                engine_span.annotate(source="cache" if hit else "computed")
+                record = engine_span.close("ok")
+                # Mirror the production engine: the sim's "service time"
+                # splits over the real pipeline's stage names.
+                synthesize_stage_spans(
+                    self.tracer,
+                    engine_span.trace_id,
+                    engine_span.span_id,
+                    {name: weight * service * 1000.0 for name, weight in STAGE_WEIGHTS},
+                    record.start,
+                    meta={"worker": self.worker_id},
+                )
             return (
                 200,
                 {"id": doc, "worker": self.worker_id, "cache": bool(hit)},
                 {},
             )
+        except BaseException:
+            # Crash mid-request: the engine work dies with the process.
+            if engine_span is not None:
+                engine_span.close("lost")
+            raise
         finally:
             if self.incarnation == incarnation and self.state == "up":
                 admission.release()
@@ -354,16 +436,20 @@ class SimCluster:
     """
 
     def __init__(self, spec: Scenario, clock: SimClock,
-                 faults: Optional[FaultInjector], log: EventLog) -> None:
+                 faults: Optional[FaultInjector], log: EventLog,
+                 tracer: Optional[Tracer] = None) -> None:
         self.spec = spec
         self.clock = clock
         self.faults = faults
         self.log = log
+        self.tracer = tracer
         self.ring = HashRing(replicas=spec.replicas)
         self.workers: Dict[str, SimWorker] = {}
         for index in range(spec.workers):
             worker_id = f"w{index}"
-            self.workers[worker_id] = SimWorker(worker_id, spec, clock, faults, log)
+            self.workers[worker_id] = SimWorker(
+                worker_id, spec, clock, faults, log, tracer=tracer
+            )
             self.ring.add(worker_id)
         self.draining = False
         self.counters: Dict[str, int] = {}
@@ -461,13 +547,31 @@ class SimCluster:
                  "message": "cluster is draining"},
                 {"Retry-After": "1"},
             )
+        ctx = extract_trace_context(headers) if self.tracer is not None else None
         key = affinity_key(path, headers, body)
         chain = self.ring.assign_chain(key)
         for position, worker_id in enumerate(chain):
             worker = self.workers[worker_id]
+            proxy_span = None
+            forwarded = headers
+            if ctx is not None:
+                # Same shape as Router._proxy: one span per forwarding leg,
+                # replacing the inbound parent with the proxy span's id.
+                proxy_span = self.tracer.start_span(
+                    "router.proxy",
+                    kind="router",
+                    trace_id=ctx[0],
+                    parent_id=ctx[1],
+                    meta={"worker": worker_id, "position": position},
+                )
+                forwarded = dict(headers)
+                forwarded["x-trace-id"] = ctx[0]
+                forwarded["x-span-id"] = proxy_span.span_id
             try:
-                status, payload, extra = worker.handle(method, path, headers, body)
+                status, payload, extra = worker.handle(method, path, forwarded, body)
             except (ConnectionRefusedError, ConnectionResetError) as exc:
+                if proxy_span is not None:
+                    proxy_span.annotate(error=type(exc).__name__).close("failover")
                 self._count("proxy_failovers")
                 self.log.emit(
                     "failover", self.clock.monotonic(),
@@ -476,6 +580,8 @@ class SimCluster:
                 self.suspect(worker_id)
                 self._note_live()
                 continue
+            if proxy_span is not None:
+                proxy_span.annotate(status=status).close("ok")
             self._count("proxied")
             if position > 0:
                 self._count("proxied_rerouted")
@@ -545,7 +651,11 @@ class SimServiceClient(DiffServiceClient):
         self.attempt_log: List[Dict[str, Any]] = []
 
     def request_once(
-        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        trace: Optional[Tuple[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         target = f"{self.host}:{self.port}"
         if self._leg_faults is not None:
@@ -555,6 +665,10 @@ class SimServiceClient(DiffServiceClient):
         headers = {"accept": "application/json"}
         if self.client_id is not None:
             headers["x-client-id"] = self.client_id
+        if trace is not None:
+            # The sim transport speaks pre-lowercased headers.
+            headers["x-trace-id"] = trace[0]
+            headers["x-span-id"] = trace[1]
         body = b""
         if payload is not None:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -619,7 +733,23 @@ class _Run:
             if spec.plan is not None
             else None
         )
-        self.cluster = SimCluster(spec, self.clock, self.injector, self.log)
+        # One tracer for the whole sim: client, router leg, and every
+        # worker record into it, and each closed span becomes an event —
+        # so a seed's span tree is part of the byte-identical log.
+        self.tracer: Optional[Tracer] = None
+        if spec.trace_fraction > 0.0:
+            self.tracer = Tracer(
+                fraction=spec.trace_fraction,
+                capacity=65536,
+                clock=self.clock,
+                rng=derive_rng(spec.seed, "tracer"),
+                on_close=lambda record: self.log.emit(
+                    "span", self.clock.monotonic(), record=record
+                ),
+            )
+        self.cluster = SimCluster(
+            spec, self.clock, self.injector, self.log, tracer=self.tracer
+        )
         self.clients: Dict[str, SimServiceClient] = {}
         self.records: List[RequestRecord] = []
         self.violations: List[str] = []
@@ -634,6 +764,7 @@ class _Run:
                 name,
                 rng=derive_rng(self.spec.seed, name),
                 faults=self.injector,
+                tracer=self.tracer,
                 **self.spec.client,
             )
             self.clients[name] = client
@@ -674,6 +805,7 @@ def run_scenario(spec: Scenario) -> ScenarioResult:
         "virtual_elapsed_s": round(clock.elapsed, 9),
         "timers_fired": clock.fired,
         "faults_fired": len(run.injector.fired) if run.injector else 0,
+        "trace": run.tracer.stats() if run.tracer is not None else None,
         "cache": {
             worker_id: worker.cache.stats()
             for worker_id, worker in sorted(cluster.workers.items())
@@ -755,6 +887,7 @@ def _run_request(run: _Run, index: int, step: Step) -> None:
         record.worker = decoded.get("worker")
         record.attempts = len(client.attempt_log) - attempts_before
     finally:
+        record.trace_id = client.last_trace_id
         run.cluster._min_live_probe = None
     record.sleeps = client.sleeps[sleeps_before:]
     record.hints = client.attempt_log[attempts_before:]
@@ -766,7 +899,7 @@ def _run_request(run: _Run, index: int, step: Step) -> None:
         index=index, client=record.client, doc=doc,
         status=record.status, error=record.error_kind,
         attempts=record.attempts, worker=record.worker,
-        sleeps=record.sleeps,
+        sleeps=record.sleeps, trace=record.trace_id,
     )
 
 
@@ -898,6 +1031,35 @@ def _inv_convergence(run: _Run) -> List[str]:
     ]
 
 
+def _inv_trace_complete(run: _Run) -> List[str]:
+    """Every 2xx request that was sampled left a fully-closed span tree."""
+    out = []
+    if run.tracer is None:
+        return out
+    for record in run.records:
+        if record.status != 200 or record.trace_id is None:
+            continue
+        open_count = run.tracer.open_count(record.trace_id)
+        if open_count:
+            out.append(
+                f"request {record.index}: trace {record.trace_id} still has "
+                f"{open_count} open span(s) after a 2xx response"
+            )
+            continue
+        spans = run.tracer.trace(record.trace_id)
+        if not spans:
+            out.append(
+                f"request {record.index}: sampled trace {record.trace_id} "
+                f"recorded no spans"
+            )
+            continue
+        for problem in validate_trace(spans):
+            out.append(
+                f"request {record.index} (trace {record.trace_id}): {problem}"
+            )
+    return out
+
+
 def _inv_failures_only_while_ring_empty(run: _Run) -> List[str]:
     out = []
     for record in run.records:
@@ -914,6 +1076,7 @@ INVARIANTS: Dict[str, Callable[[_Run], List[str]]] = {
     "retry_discipline": _inv_retry_discipline,
     "drain_integrity": _inv_drain_integrity,
     "metrics_conservation": _inv_metrics_conservation,
+    "trace_complete": _inv_trace_complete,
     "convergence": _inv_convergence,
     "failures_only_while_ring_empty": _inv_failures_only_while_ring_empty,
 }

@@ -235,15 +235,31 @@ SCENARIOS = {
 }
 
 
-def build_scenario(name: str, seed: int = 0) -> Scenario:
-    """Instantiate one named scenario for *seed*."""
+def build_scenario(
+    name: str, seed: int = 0, trace_fraction: Optional[float] = None
+) -> Scenario:
+    """Instantiate one named scenario for *seed*.
+
+    ``trace_fraction`` overrides the scenario's sampling rate; whenever
+    tracing is on, the ``trace_complete`` invariant rides along so every
+    2xx request must leave a fully-closed span tree.
+    """
+    import dataclasses
+
     try:
         builder = SCENARIOS[name]
     except KeyError:
         raise KeyError(
             f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
         ) from None
-    return builder(seed)
+    spec = builder(seed)
+    if trace_fraction is not None:
+        spec = dataclasses.replace(spec, trace_fraction=trace_fraction)
+    if spec.trace_fraction > 0.0 and "trace_complete" not in spec.invariants:
+        spec = dataclasses.replace(
+            spec, invariants=spec.invariants + ("trace_complete",)
+        )
+    return spec
 
 
 def run_matrix(

@@ -3,10 +3,28 @@
 from __future__ import annotations
 
 import random
+import time
 
 import pytest
 
 from repro.core.tree import Tree
+
+
+@pytest.fixture
+def forbid_real_sleep(monkeypatch):
+    """Fail loudly if anything blocks on the wall clock.
+
+    Tests that drive SimClock-based code (simtest scenarios, obs tracing
+    under virtual time) request this so a regression that sneaks a real
+    ``time.sleep`` back into the simulated stack fails instead of stalling.
+    """
+
+    def guard(seconds):
+        raise AssertionError(
+            f"real time.sleep({seconds!r}) called during a virtual-time test"
+        )
+
+    monkeypatch.setattr(time, "sleep", guard)
 
 
 @pytest.fixture

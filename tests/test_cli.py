@@ -262,3 +262,125 @@ class TestJsonDeterminism:
         ]) == 0
         out = capsys.readouterr().out
         assert out == self.canonical(out)
+
+
+class TestTraceCli:
+    """Tracing through the CLI: sampled ids in --json output, JSONL export,
+    and the ``trace`` subcommand that renders it back as a tree."""
+
+    HEX = set("0123456789abcdef")
+
+    def _run_script_json(self, sexpr_files, capsys):
+        old, new = sexpr_files
+        assert main(["script", old, new, "--json",
+                     "--trace-fraction", "1.0"]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_script_json_gains_trace_id_when_sampled(self, sexpr_files, capsys):
+        payload = self._run_script_json(sexpr_files, capsys)
+        assert set(payload) == {"script", "trace_id"}
+        tid = payload["trace_id"]
+        assert len(tid) == 16 and set(tid) <= self.HEX
+        assert payload["script"][0]["op"] == "move"
+
+    def test_script_json_shape_unchanged_when_off(self, sexpr_files, capsys):
+        old, new = sexpr_files
+        assert main(["script", old, new, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list)  # pre-tracing wire shape
+
+    def test_script_runs_identical_modulo_trace_id(self, sexpr_files, capsys):
+        first = self._run_script_json(sexpr_files, capsys)
+        second = self._run_script_json(sexpr_files, capsys)
+        assert first["trace_id"] != second["trace_id"]  # fresh id per run
+        first.pop("trace_id"), second.pop("trace_id")
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_script_text_mode_reports_trace_on_stderr(self, sexpr_files, capsys):
+        old, new = sexpr_files
+        assert main(["script", old, new, "--trace-fraction", "1.0"]) == 0
+        captured = capsys.readouterr()
+        assert "# trace = " in captured.err
+        assert "MOV(" in captured.out
+
+    def test_batch_jobs_share_one_trace(self, tmp_path, capsys):
+        (tmp_path / "a.sexpr").write_text('(D (S "one"))', encoding="utf-8")
+        (tmp_path / "b.sexpr").write_text('(D (S "two"))', encoding="utf-8")
+        manifest = tmp_path / "pairs.manifest"
+        manifest.write_text("a.sexpr b.sexpr\nb.sexpr a.sexpr\n", encoding="utf-8")
+        assert main(["batch", str(manifest), "--json",
+                     "--trace-fraction", "1.0"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        ids = {job["trace_id"] for job in payload["jobs"]}
+        assert len(ids) == 1  # every job under the one cli.batch root
+        (tid,) = ids
+        assert len(tid) == 16 and set(tid) <= self.HEX
+
+    def test_batch_trace_id_null_when_off(self, tmp_path, capsys):
+        (tmp_path / "a.sexpr").write_text('(D (S "one"))', encoding="utf-8")
+        manifest = tmp_path / "pairs.manifest"
+        manifest.write_text("a.sexpr a.sexpr\n", encoding="utf-8")
+        assert main(["batch", str(manifest), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"][0]["trace_id"] is None
+
+    def test_export_then_render_round_trip(self, sexpr_files, tmp_path, capsys):
+        old, new = sexpr_files
+        export = str(tmp_path / "spans.jsonl")
+        assert main(["script", old, new, "--json", "--trace-fraction", "1.0",
+                     "--trace-export", export]) == 0
+        tid = json.loads(capsys.readouterr().out)["trace_id"]
+
+        assert main(["trace", tid, "--file", export]) == 0
+        captured = capsys.readouterr()
+        assert f"trace {tid}" in captured.out
+        assert "cli.script" in captured.out
+        assert "stage.match" in captured.out
+        assert "span(s)" in captured.err
+
+    def test_trace_file_json_lists_spans(self, sexpr_files, tmp_path, capsys):
+        old, new = sexpr_files
+        export = str(tmp_path / "spans.jsonl")
+        assert main(["script", old, new, "--trace-fraction", "1.0",
+                     "--trace-export", export]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--file", export, "--json"]) == 0
+        spans = json.loads(capsys.readouterr().out)
+        names = {span["name"] for span in spans}
+        assert "cli.script" in names
+        roots = [s for s in spans if s["parent"] is None]
+        assert len(roots) == 1
+
+    def test_trace_requires_exactly_one_source(self, tmp_path, capsys):
+        assert main(["trace", "ab" * 8]) == 2
+        assert "error" in capsys.readouterr().err
+        assert main(["trace", "ab" * 8, "--file", str(tmp_path / "x.jsonl"),
+                     "--url", "127.0.0.1:1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_unknown_id_exits_1(self, sexpr_files, tmp_path, capsys):
+        old, new = sexpr_files
+        export = str(tmp_path / "spans.jsonl")
+        assert main(["script", old, new, "--trace-fraction", "1.0",
+                     "--trace-export", export]) == 0
+        capsys.readouterr()
+        assert main(["trace", "ff" * 8, "--file", export]) == 1
+        assert "no spans found" in capsys.readouterr().err
+
+    def test_trace_url_fetches_from_live_server(self, capsys):
+        from repro.serve import DiffServiceClient, ServeConfig, ServerThread
+
+        config = ServeConfig(port=0, workers=1, queue_capacity=4,
+                             trace_fraction=1.0)
+        with ServerThread(config) as handle:
+            with DiffServiceClient(port=handle.port, retries=0,
+                                   timeout=10.0) as client:
+                out = client.diff('(D (S "from"))', '(D (S "to"))')
+            tid = out["trace_id"]
+            assert main(["trace", tid,
+                         "--url", f"127.0.0.1:{handle.port}"]) == 0
+        captured = capsys.readouterr()
+        assert f"trace {tid}" in captured.out
+        assert "worker" in captured.out and "engine" in captured.out

@@ -32,9 +32,9 @@ def slow_engine(handle: ServerThread, delay: float) -> None:
     engine = handle.server.engine
     original = engine._run_job
 
-    def slowed(job_id, old, new):
+    def slowed(job_id, old, new, trace=None):
         time.sleep(delay)
-        return original(job_id, old, new)
+        return original(job_id, old, new, trace)
 
     engine._run_job = slowed
 

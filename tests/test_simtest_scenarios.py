@@ -7,7 +7,6 @@ slowly.
 """
 
 import dataclasses
-import time
 
 import pytest
 
@@ -27,15 +26,8 @@ SEEDS = (0, 1, 2)
 
 
 @pytest.fixture(autouse=True)
-def forbid_real_sleep(monkeypatch):
+def _no_real_sleep(forbid_real_sleep):
     """The simulated stack must never block on the wall clock."""
-
-    def guard(seconds):
-        raise AssertionError(
-            f"real time.sleep({seconds!r}) called during a simtest scenario"
-        )
-
-    monkeypatch.setattr(time, "sleep", guard)
 
 
 # ---------------------------------------------------------------------------
